@@ -1,0 +1,75 @@
+// bench_4qubit: extension experiment — the paper's construction generalized
+// to 4 qubits.
+//
+// The reduced pattern domain has 4^4 - 3^4 + 1 = 176 labels, the library L
+// grows to 3*4*3 = 36 gates (24 controlled-V/V+, 12 CNOTs), and S = the 16
+// binary patterns. The FMCF closure then counts minimal-cost 4-qubit
+// reversible circuits |G4[k]| — numbers outside the paper's 3-qubit scope.
+//
+// Default depth 4 (about a minute of headroom); set QSYN_4Q_MAX to push.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+#include "synth/fmcf.h"
+
+namespace {
+
+using namespace qsyn;
+
+void regenerate() {
+  unsigned max_cost = 4;
+  if (const char* env = std::getenv("QSYN_4Q_MAX")) {
+    max_cost = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (max_cost < 1 || max_cost > 6) max_cost = 4;
+  }
+  bench::section("Extension: 4-qubit FMCF closure (beyond the paper)");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(4);
+  const gates::GateLibrary library(domain);
+  bench::value_row("domain size", std::to_string(domain.size()) +
+                                      " labels (4^4 - 3^4 + 1)");
+  bench::value_row("library size", std::to_string(library.size()) + " gates");
+
+  synth::FmcfOptions options;
+  options.track_witnesses = false;
+  synth::FmcfEnumerator enumerator(library, options);
+  std::printf(
+      "  k | |G4[k]| | pre_G4[k] | |B[k]|    | secs    | approx MiB\n");
+  std::printf("  %s\n", std::string(64, '-').c_str());
+  for (unsigned k = 1; k <= max_cost; ++k) {
+    const auto& s = enumerator.advance();
+    std::printf("  %u | %-7zu | %-9zu | %-9zu | %-7.2f | %zu\n", k, s.g_new,
+                s.pre_g, s.frontier, s.seconds,
+                enumerator.memory_bytes() >> 20);
+  }
+  std::printf(
+      "  sanity: |G4[1]| must equal the 12 four-wire CNOTs; all counts for "
+      "k >= 2 are new results.\n");
+}
+
+void bm_expand_4q_level2(benchmark::State& state) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(4);
+  const gates::GateLibrary library(domain);
+  for (auto _ : state) {
+    synth::FmcfOptions options;
+    options.track_witnesses = false;
+    synth::FmcfEnumerator enumerator(library, options);
+    enumerator.run_to(2);
+    benchmark::DoNotOptimize(enumerator.seen_count());
+  }
+}
+BENCHMARK(bm_expand_4q_level2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Stopwatch total;
+  regenerate();
+  std::printf("  total wall time: %.2f s\n", total.seconds());
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

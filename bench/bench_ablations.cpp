@@ -1,0 +1,230 @@
+// bench_ablations: design-choice ablations called out in DESIGN.md.
+//
+//  A1. Banned-set pruning: search-space growth with the "reasonable product"
+//      constraint disabled (the closure then walks unphysical cascades).
+//  A2. Cost model: unit costs (the paper's model) vs a non-uniform NMR-style
+//      model — the minimal-cost circuit changes, demonstrating the paper's
+//      "easily modified" claim via the weighted Dijkstra synthesizer.
+//  A3. The binary-control constraint itself: an unrestricted Hilbert-space
+//      search over 5-gate cascades shows the Smolin-DiVincenzo 5-gate
+//      Fredkin exists but violates the constraint, while the constrained
+//      exact minimum is cost 7.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "gates/library.h"
+#include "la/matrix.h"
+#include "mvl/domain.h"
+#include "sim/unitary.h"
+#include "synth/fmcf.h"
+#include "synth/mce.h"
+#include "synth/specs.h"
+#include "synth/weighted.h"
+
+namespace {
+
+using namespace qsyn;
+
+void ablation_pruning() {
+  bench::section("A1: banned-set pruning (reasonable product) ablation");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  synth::FmcfOptions pruned_options;
+  pruned_options.track_witnesses = false;
+  synth::FmcfEnumerator pruned(library, pruned_options);
+  synth::FmcfOptions free_options;
+  free_options.track_witnesses = false;
+  free_options.use_banned_sets = false;
+  synth::FmcfEnumerator unpruned(library, free_options);
+  std::printf("  k | |B[k]| pruned | |B[k]| unpruned | blowup\n");
+  for (unsigned k = 1; k <= 5; ++k) {
+    const auto& a = pruned.advance();
+    const auto& b = unpruned.advance();
+    std::printf("  %u | %-13zu | %-15zu | %.2fx\n", k, a.frontier, b.frontier,
+                static_cast<double>(b.frontier) /
+                    static_cast<double>(a.frontier));
+  }
+  std::printf(
+      "  (unpruned cascades are not quantum-valid: don't-care semantics stop "
+      "matching Hilbert space)\n");
+}
+
+void ablation_cost_model() {
+  bench::section("A2: unit vs NMR-style cost model (weighted synthesis)");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  std::printf(
+      "  model: ctrl-V/V+ = %u, CNOT = %u, NOT = %u (unit model: 1/1/0)\n",
+      nmr.ctrl_v, nmr.feynman, nmr.not_gate);
+
+  const synth::WeightedSynthesizer unit_synth(library,
+                                              gates::CostModel::unit());
+  const synth::WeightedSynthesizer nmr_synth(library, nmr);
+  struct Row {
+    const char* name;
+    perm::Permutation target;
+  };
+  const Row rows[] = {
+      {"Peres", synth::peres_perm()},
+      {"Toffoli", synth::toffoli_perm()},
+      {"swap(B,C)", synth::swap_bc_perm()},
+  };
+  for (const Row& row : rows) {
+    Stopwatch timer;
+    const auto unit_result = unit_synth.synthesize(row.target);
+    const auto nmr_result = nmr_synth.synthesize(row.target);
+    if (!unit_result || !nmr_result) {
+      std::printf("  %-10s search exceeded state bound\n", row.name);
+      continue;
+    }
+    // Price the unit-optimal circuit under NMR weights for comparison.
+    const unsigned unit_circuit_nmr_cost = nmr_result ? [&] {
+      unsigned total = 0;
+      for (const auto& g : unit_result->circuit.sequence()) {
+        total += g.cost(nmr);
+      }
+      return total;
+    }() : 0;
+    std::printf(
+        "  %-10s unit-optimal: %-28s (unit %u, NMR %u)\n", row.name,
+        unit_result->circuit.to_string().c_str(), unit_result->cost,
+        unit_circuit_nmr_cost);
+    std::printf(
+        "  %-10s NMR-optimal:  %-28s (NMR %u)%s\n", "",
+        nmr_result->circuit.to_string().c_str(), nmr_result->cost,
+        nmr_result->cost < unit_circuit_nmr_cost
+            ? "  <- cheaper than the unit-optimal circuit"
+            : "");
+    std::printf("  %-10s search time %.3f s\n", "", timer.seconds());
+  }
+}
+
+/// Quantized hash key for an 8x8 unitary whose entries are Gaussian dyadic
+/// rationals (every product of <= ~16 library gates is). Rounding to 1/1024
+/// is exact for depths up to 10.
+std::string unitary_key(const la::Matrix& u) {
+  std::string key;
+  key.reserve(64 * 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const long long re = std::llround(u(r, c).real() * 1024.0);
+      const long long im = std::llround(u(r, c).imag() * 1024.0);
+      key.append(reinterpret_cast<const char*>(&re), sizeof(re));
+      key.append(reinterpret_cast<const char*>(&im), sizeof(im));
+    }
+  }
+  return key;
+}
+
+struct MitmEntry {
+  la::Matrix unitary;
+  unsigned depth = 0;
+  std::vector<std::size_t> gate_sequence;
+};
+
+/// All distinct unitaries realizable by cascades of <= max_depth library
+/// gates, with a minimal-depth witness each (no banned-set constraint).
+std::unordered_map<std::string, MitmEntry> unitary_ball(
+    const std::vector<la::Matrix>& gate_u, unsigned max_depth) {
+  std::unordered_map<std::string, MitmEntry> ball;
+  MitmEntry identity{la::Matrix::identity(8), 0, {}};
+  ball.emplace(unitary_key(identity.unitary), identity);
+  std::vector<const MitmEntry*> frontier;
+  frontier.push_back(&ball.begin()->second);
+  for (unsigned depth = 1; depth <= max_depth; ++depth) {
+    // Collect current frontier snapshots (stable storage across inserts).
+    std::vector<MitmEntry> snapshot;
+    for (const auto& [key, entry] : ball) {
+      if (entry.depth == depth - 1) snapshot.push_back(entry);
+    }
+    for (const MitmEntry& entry : snapshot) {
+      for (std::size_t g = 0; g < gate_u.size(); ++g) {
+        MitmEntry next;
+        next.unitary = gate_u[g] * entry.unitary;  // append gate g
+        next.depth = depth;
+        const std::string key = unitary_key(next.unitary);
+        if (ball.find(key) != ball.end()) continue;
+        next.gate_sequence = entry.gate_sequence;
+        next.gate_sequence.push_back(g);
+        ball.emplace(key, std::move(next));
+      }
+    }
+  }
+  return ball;
+}
+
+void ablation_binary_control() {
+  bench::section(
+      "A3: the binary-control constraint vs unrestricted quantum search "
+      "(Fredkin)");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  synth::McExpressor mce(library, 7);
+  const auto constrained = mce.minimal_cost(synth::fredkin_perm());
+  std::printf("  constrained exact minimum (this paper's model): cost %s\n",
+              constrained ? std::to_string(*constrained).c_str() : ">7");
+
+  // Meet-in-the-middle over exact unitaries: prefixes of <= 3 gates meet
+  // suffixes of <= 4 gates, covering every unrestricted cascade of <= 7
+  // gates — including cascades whose intermediate states are entangled,
+  // which the multi-valued model cannot represent.
+  Stopwatch timer;
+  std::vector<la::Matrix> gate_u;
+  for (std::size_t g = 0; g < library.size(); ++g) {
+    gate_u.push_back(sim::gate_unitary(library.gate(g), 3));
+  }
+  const la::Matrix target = sim::permutation_unitary(synth::fredkin_perm(), 3);
+  const auto prefixes = unitary_ball(gate_u, 3);
+  const auto suffixes = unitary_ball(gate_u, 4);
+  unsigned best = 99;
+  std::vector<std::size_t> best_sequence;
+  for (const auto& [key, prefix] : prefixes) {
+    // Need suffix with U_s * U_p = F  =>  U_s = F * U_p^dagger.
+    const la::Matrix need = target * prefix.unitary.adjoint();
+    const auto it = suffixes.find(unitary_key(need));
+    if (it == suffixes.end()) continue;
+    const unsigned total = prefix.depth + it->second.depth;
+    if (total < best) {
+      best = total;
+      best_sequence = prefix.gate_sequence;
+      best_sequence.insert(best_sequence.end(),
+                           it->second.gate_sequence.begin(),
+                           it->second.gate_sequence.end());
+    }
+  }
+  std::printf(
+      "  unrestricted exact minimum over the same 18-gate library: cost %u "
+      "(meet-in-the-middle over %zu + %zu distinct unitaries, %.1f s)\n",
+      best, prefixes.size(), suffixes.size(), timer.seconds());
+  if (best < 99) {
+    gates::Cascade witness(3);
+    for (const std::size_t g : best_sequence) witness.append(library.gate(g));
+    std::printf("  witness: %s  (reasonable in the paper's model? %s)\n",
+                witness.to_string().c_str(),
+                witness.is_reasonable(domain) ? "yes" : "no");
+  }
+  std::printf(
+      "  conclusion: Smolin-DiVincenzo's 5-gate Fredkin [15] uses 2-qubit\n"
+      "  gates outside this paper's {CV, CV+, CNOT} library; over the "
+      "paper's own library the\n  minimum is %u %s the binary-control "
+      "constraint (constrained exact minimum: %s).\n",
+      best, best == (constrained ? *constrained : 0) ? "even without" : "without",
+      constrained ? std::to_string(*constrained).c_str() : ">7");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablation_pruning();
+  ablation_cost_model();
+  ablation_binary_control();
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,69 @@
+// bench_fig1_gates: regenerates Figure 1 / Section 2 — the elementary gate
+// matrices V and V+ exactly as printed in the paper, and the defining
+// algebraic identities V*V = V+*V+ = NOT, V*V+ = V+*V = I, plus the
+// four signal states V0, V1 and the six-to-four value reduction
+// (V0 = V+1, V1 = V+0).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "la/gate_constants.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace {
+
+using namespace qsyn;
+
+void check(const char* label, bool ok) {
+  std::printf("  %-46s %s\n", label, ok ? "OK" : "DIFFERS");
+}
+
+void regenerate_fig1() {
+  bench::section("Figure 1 / Section 2: elementary quantum gates");
+  std::printf("V  =\n%s\n", la::mat_v().to_string(2).c_str());
+  std::printf("V+ =\n%s\n", la::mat_v_dagger().to_string(2).c_str());
+  check("V x V  == NOT", (la::mat_v() * la::mat_v()).approx_equal(la::mat_x()));
+  check("V+ x V+ == NOT",
+        (la::mat_v_dagger() * la::mat_v_dagger()).approx_equal(la::mat_x()));
+  check("V x V+ == I", (la::mat_v() * la::mat_v_dagger()).is_identity());
+  check("V+ x V == I", (la::mat_v_dagger() * la::mat_v()).is_identity());
+  check("V, V+ unitary",
+        la::mat_v().is_unitary() && la::mat_v_dagger().is_unitary());
+
+  std::printf("\nsignal values (Section 2):\n");
+  std::printf("  V0 = V|0>  = %s\n", la::state_v0().to_string(2).c_str());
+  std::printf("  V1 = V|1>  = %s\n", la::state_v1().to_string(2).c_str());
+  check("V0 == V+|1> (six values reduce to four)",
+        (la::mat_v_dagger() * la::state_1()).approx_equal(la::state_v0()));
+  check("V1 == V+|0>",
+        (la::mat_v_dagger() * la::state_0()).approx_equal(la::state_v1()));
+  check("V(V0) == |1> exactly",
+        (la::mat_v() * la::state_v0()).approx_equal(la::state_1()));
+  check("NOT swaps V0 <-> V1 exactly",
+        (la::mat_x() * la::state_v0()).approx_equal(la::state_v1()));
+}
+
+void bm_matrix_mul_2x2(benchmark::State& state) {
+  const la::Matrix v = la::mat_v();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v * v);
+  }
+}
+BENCHMARK(bm_matrix_mul_2x2);
+
+void bm_unitarity_check_8x8(benchmark::State& state) {
+  const la::Matrix big = la::mat_v().kron(la::mat_v()).kron(la::mat_x());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big.is_unitary());
+  }
+}
+BENCHMARK(bm_unitarity_check_8x8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  regenerate_fig1();
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

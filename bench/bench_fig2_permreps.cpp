@@ -1,0 +1,91 @@
+// bench_fig2_permreps: regenerates Figure 2 / Section 3 — the 3-qubit gate
+// arrangements and their permutation representations on the 38-label reduced
+// domain, plus the banned sets N_A..N_BC exactly as printed in the paper.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+
+namespace {
+
+using namespace qsyn;
+
+void check_cycles(const gates::GateLibrary& library, const char* gate,
+                  const char* paper) {
+  const std::string measured =
+      library.permutation(library.index_of(gate)).to_cycle_string();
+  std::printf("  %-5s paper    %s\n        measured %s  %s\n", gate, paper,
+              measured.c_str(), measured == paper ? "OK" : "DIFFERS");
+}
+
+void check_banned(const mvl::PatternDomain& domain, mvl::BannedClass c,
+                  const std::string& paper) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto label : domain.banned_set(c)) {
+    if (!first) os << ",";
+    os << label;
+    first = false;
+  }
+  std::printf("  %-5s paper    {%s}\n        measured {%s}  %s\n",
+              domain.class_name(c).c_str(), paper.c_str(), os.str().c_str(),
+              os.str() == paper ? "OK" : "DIFFERS");
+}
+
+void regenerate_fig2() {
+  bench::section("Figure 2 / Section 3: permutation representations");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  std::printf("  domain: %zu permutable patterns (64 - 27 + 1)\n",
+              domain.size());
+  check_cycles(library, "VBA",
+               "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)");
+  check_cycles(library, "V+AB",
+               "(3,33,7,26)(4,34,8,27)(9,35,15,28)(10,36,16,29)");
+  check_cycles(library, "FCA", "(5,6)(7,8)(17,18)(21,22)");
+
+  bench::section("Section 3: banned sets");
+  check_banned(domain, domain.control_class(0),
+               "25,26,27,28,29,30,31,32,33,34,35,36,37,38");
+  check_banned(domain, domain.control_class(1),
+               "11,12,17,18,19,20,21,22,23,24,30,31,37,38");
+  check_banned(domain, domain.control_class(2),
+               "9,10,13,14,15,16,19,20,23,24,28,29,35,36");
+  check_banned(domain, domain.feynman_class(0, 1),
+               "11,12,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,"
+               "35,36,37,38");
+  check_banned(domain, domain.feynman_class(0, 2),
+               "9,10,13,14,15,16,19,20,23,24,25,26,27,28,29,30,31,32,33,34,"
+               "35,36,37,38");
+  check_banned(domain, domain.feynman_class(1, 2),
+               "9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,28,29,30,31,"
+               "35,36,37,38");
+}
+
+void bm_gate_to_permutation(benchmark::State& state) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::Gate g = gates::Gate::ctrl_v(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.to_permutation(domain));
+  }
+}
+BENCHMARK(bm_gate_to_permutation);
+
+void bm_library_construction(benchmark::State& state) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gates::GateLibrary(domain));
+  }
+}
+BENCHMARK(bm_library_construction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  regenerate_fig2();
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,103 @@
+// bench_fig3_automata: regenerates Figure 3 / Section 4 — quantum-realized
+// probabilistic machines. Synthesizes a controlled quantum random number
+// generator, closes it into the Figure-3 automaton loop, and compares the
+// exact Markov-chain stationary distribution (linear solve) with Monte-Carlo
+// measurement runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "automata/automaton.h"
+#include "automata/hmm.h"
+#include "automata/qrng.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+
+namespace {
+
+using namespace qsyn;
+
+void regenerate() {
+  bench::section("Figure 3 / Section 4: quantum probabilistic machines");
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+
+  // 1. Controlled QRNG: wire C becomes a fair coin whenever wire A is 1.
+  Stopwatch timer;
+  const auto qrng =
+      automata::ControlledQrng::synthesize(library,
+                                           automata::controlled_coin_spec(3));
+  if (!qrng.has_value()) {
+    std::printf("  QRNG synthesis FAILED\n");
+    return;
+  }
+  std::printf("  QRNG circuit: %s (cost %zu, synthesized in %.4f s)\n",
+              qrng->circuit().to_string().c_str(), qrng->circuit().size(),
+              timer.seconds());
+  const auto dist = qrng->distribution(0b100);
+  std::printf("  input A=1,B=0,C=0: P[C=0]=%.3f P[C=1]=%.3f (expected "
+              "0.500/0.500)\n",
+              dist[0b100], dist[0b101]);
+  Rng rng(1234);
+  const auto hist = qrng->histogram(0b100, 100000, rng);
+  std::printf("  100k samples: %zu / %zu (coin flips)\n", hist[0b100],
+              hist[0b101]);
+
+  // 2. Figure-3 loop: state register + combinational quantum block.
+  //    Wire A is the state; input C=1 re-randomizes the state each cycle.
+  automata::QuantumAutomaton machine(gates::Cascade::parse("VAC", 3), 1);
+  const auto exact = machine.stationary_distribution(0b01);
+  const auto empirical = machine.empirical_distribution(0b01, 200000, rng);
+  std::printf("\n  probabilistic FSM (state = wire A, input C = 1):\n");
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    std::printf("    state %zu: exact stationary %.4f, Monte-Carlo %.4f\n", s,
+                exact[s], empirical[s]);
+  }
+
+  // 3. HMM view: emissions carry the measured non-state wires.
+  const automata::QuantumHmm hmm(std::move(machine), 0b01);
+  const auto traj = hmm.sample(0, 16, rng);
+  std::printf("  HMM sample trajectory (16 steps): states ");
+  for (const auto s : traj.states) std::printf("%u", s);
+  std::printf("\n  log-likelihood of that emission sequence: %.4f\n",
+              hmm.log_likelihood(0, traj.emissions));
+}
+
+void bm_qrng_generate(benchmark::State& state) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  const auto qrng = automata::ControlledQrng::synthesize(
+      library, automata::controlled_coin_spec(3));
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qrng->generate(0b100, rng));
+  }
+}
+BENCHMARK(bm_qrng_generate);
+
+void bm_automaton_step(benchmark::State& state) {
+  automata::QuantumAutomaton machine(gates::Cascade::parse("VAC", 3), 1);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.step(0b01, rng));
+  }
+}
+BENCHMARK(bm_automaton_step);
+
+void bm_stationary_solve(benchmark::State& state) {
+  automata::QuantumAutomaton machine(gates::Cascade::parse("VAC*VBC", 3), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.stationary_distribution(0b1));
+  }
+}
+BENCHMARK(bm_stationary_solve)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  regenerate();
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

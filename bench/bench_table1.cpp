@@ -1,0 +1,54 @@
+// bench_table1: regenerates Table 1 of the paper — the 16-row multi-valued
+// truth table of the 2-qubit controlled-V gate — and times truth-table
+// generation over the full quaternary domain.
+//
+// Expected: the printed table matches the paper row for row, and the label
+// column forms the permutation (3,7,4,8).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gates/gate.h"
+#include "gates/truth_table.h"
+#include "mvl/domain.h"
+
+namespace {
+
+using namespace qsyn;
+
+void regenerate_table1() {
+  bench::section("Table 1: truth table of the 2-qubit controlled-V gate");
+  const mvl::PatternDomain full2 = mvl::PatternDomain::full(2);
+  const gates::Gate ctrl_v = gates::Gate::ctrl_v(1, 0);
+  const gates::TruthTable table = gates::make_truth_table(ctrl_v, full2);
+  std::printf("%s", table.to_text().c_str());
+  const std::string measured = table.to_permutation().to_cycle_string();
+  std::printf("  permutation representation: paper=(3,7,4,8) measured=%s %s\n",
+              measured.c_str(), measured == "(3,7,4,8)" ? "OK" : "DIFFERS");
+}
+
+void bm_truth_table_full2(benchmark::State& state) {
+  const mvl::PatternDomain full2 = mvl::PatternDomain::full(2);
+  const gates::Gate ctrl_v = gates::Gate::ctrl_v(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gates::make_truth_table(ctrl_v, full2));
+  }
+}
+BENCHMARK(bm_truth_table_full2);
+
+void bm_truth_table_reduced3(benchmark::State& state) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::Gate ctrl_v = gates::Gate::ctrl_v(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gates::make_truth_table(ctrl_v, domain));
+  }
+}
+BENCHMARK(bm_truth_table_reduced3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  regenerate_table1();
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,49 @@
+// bench/bench_util.h
+//
+// Shared reporting helpers for the reproduction benchmarks. Every bench
+// binary regenerates one paper artifact (a table or figure), printing the
+// paper's value next to the measured one, and then runs any registered
+// google-benchmark micro-timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace qsyn::bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Prints one paper-vs-measured comparison row and returns whether it agrees.
+inline bool compare_row(const std::string& label, long long paper,
+                        long long measured,
+                        const std::string& remark = "") {
+  const bool match = paper == measured;
+  std::printf("  %-34s paper=%-8lld measured=%-8lld %s%s%s\n", label.c_str(),
+              paper, measured, match ? "OK" : "DIFFERS",
+              remark.empty() ? "" : "  -- ", remark.c_str());
+  return match;
+}
+
+/// Prints a free-form measured-only row.
+inline void value_row(const std::string& label, const std::string& value) {
+  std::printf("  %-34s %s\n", label.c_str(), value.c_str());
+}
+
+/// Runs registered google-benchmark timings (no-op when none registered).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace qsyn::bench

@@ -1,0 +1,80 @@
+// examples/explore_costs.cpp
+//
+// A small synthesis CLI over the public API: give it a 3-bit reversible
+// circuit as a permutation in cycle notation (the paper's labeling:
+// 1 = |000>, ..., 8 = |111>) and it prints the minimal quantum-cost
+// realization, every minimal implementation, and the NMR-style weighted
+// optimum.
+//
+// Usage:
+//   explore_costs                 # demo on famous gates
+//   explore_costs "(5,7,6,8)"     # synthesize a specific permutation
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+#include "perm/permutation.h"
+#include "sim/cross_check.h"
+#include "synth/mce.h"
+#include "synth/specs.h"
+#include "synth/weighted.h"
+
+namespace {
+
+using namespace qsyn;
+
+void synthesize_one(synth::McExpressor& mce,
+                    const synth::WeightedSynthesizer& nmr,
+                    const std::string& name, const perm::Permutation& target) {
+  std::printf("--- %s = %s ---\n", name.c_str(),
+              target.to_cycle_string().c_str());
+  const auto impls = mce.implementations(target);
+  if (impls.empty()) {
+    std::printf("  no realization with quantum cost <= %u\n", mce.max_cost());
+    return;
+  }
+  std::printf("  minimal quantum cost: %u (%zu implementation%s)\n",
+              impls.front().cost, impls.size(), impls.size() == 1 ? "" : "s");
+  for (const auto& impl : impls) {
+    std::printf("    %s%s\n", impl.circuit.to_string().c_str(),
+                sim::realizes_permutation(impl.circuit, target)
+                    ? ""
+                    : "  [unitary MISMATCH]");
+  }
+  std::printf("%s\n", impls.front().circuit.to_diagram().c_str());
+  if (const auto weighted = nmr.synthesize(target)) {
+    std::printf("  NMR-style optimum (V=3, CNOT=2, NOT=1): %s (cost %u)\n",
+                weighted->circuit.to_string().c_str(), weighted->cost);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qsyn;
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  synth::McExpressor mce(library, 7);
+  const synth::WeightedSynthesizer nmr(library,
+                                       gates::CostModel::nmr_like());
+
+  if (argc > 1) {
+    try {
+      const auto target = perm::Permutation::from_cycles(argv[1], 8);
+      synthesize_one(mce, nmr, argv[1], target);
+    } catch (const qsyn::Error& e) {
+      std::printf("error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  synthesize_one(mce, nmr, "Peres", synth::peres_perm());
+  synthesize_one(mce, nmr, "Toffoli", synth::toffoli_perm());
+  synthesize_one(mce, nmr, "Fredkin", synth::fredkin_perm());
+  synthesize_one(mce, nmr, "swap(B,C)", synth::swap_bc_perm());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// examples/quantum_automaton.cpp
+//
+// Figure 3 of the paper: a quantum-realized probabilistic state machine.
+//
+// We build a 2-state machine whose combinational core is a synthesized
+// quantum circuit: wire A holds the state, wire B is an external input, and
+// wire C is a scratch output. When B = 1 the next state is a fair coin
+// (quantum randomness); when B = 0 the state toggles deterministically.
+// The example compares the exact Markov-chain stationary distribution
+// (computed with the linear-algebra substrate) against Monte-Carlo runs, and
+// then treats the same machine as a Hidden Markov Model.
+#include <cstdio>
+
+#include "automata/automaton.h"
+#include "automata/hmm.h"
+#include "automata/prob_spec.h"
+#include "automata/prob_synth.h"
+#include "common/rng.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+
+int main() {
+  using namespace qsyn;
+  using automata::WireBehavior;
+
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+
+  // Behavioral spec over (A=state, B=input, C=input):
+  //   B=1:        next state is a fair coin (quantum randomness);
+  //   B=0, C=1:   the state toggles deterministically;
+  //   B=0, C=0:   the state holds.
+  // (The all-zero input must map to itself — every gate in the paper's
+  // library fixes it — which this spec respects.)
+  const auto keep = [](bool bit) {
+    return bit ? WireBehavior::kOne : WireBehavior::kZero;
+  };
+  std::vector<std::vector<WireBehavior>> rows;
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    const bool a = (input >> 2 & 1) != 0;
+    const bool b = (input >> 1 & 1) != 0;
+    const bool c = (input & 1) != 0;
+    std::vector<WireBehavior> row(3);
+    row[0] = b ? WireBehavior::kCoin : (c ? keep(!a) : keep(a));
+    row[1] = keep(b);
+    row[2] = keep(c);
+    rows.push_back(std::move(row));
+  }
+  const automata::BehavioralProbSpec spec(3, rows);
+
+  const automata::ProbSynthesizer synthesizer(library);
+  const auto circuit = synthesizer.synthesize(spec);
+  if (!circuit.has_value()) {
+    std::printf("synthesis failed\n");
+    return 1;
+  }
+  std::printf("combinational quantum core (%zu gates): %s\n%s\n\n",
+              circuit->size(), circuit->to_string().c_str(),
+              circuit->to_diagram().c_str());
+
+  automata::QuantumAutomaton machine(*circuit, /*state_wires=*/1);
+  Rng rng(42);
+
+  for (const std::uint32_t input : {0b01u, 0b10u}) {
+    std::printf("fixed input B=%u C=%u:\n", input >> 1 & 1, input & 1);
+    const la::Matrix t = machine.transition_matrix(input);
+    std::printf("  transition matrix (columns = current state):\n");
+    for (std::size_t r = 0; r < 2; ++r) {
+      std::printf("    [%.3f %.3f]\n", t(r, 0).real(), t(r, 1).real());
+    }
+    if (input == 0b10) {
+      const auto exact = machine.stationary_distribution(input);
+      const auto empirical = machine.empirical_distribution(input, 100000,
+                                                            rng);
+      for (std::size_t s = 0; s < 2; ++s) {
+        std::printf("  state %zu: stationary %.4f vs Monte-Carlo %.4f\n", s,
+                    exact[s], empirical[s]);
+      }
+    } else {
+      std::printf("  (periodic deterministic toggle: no unique stationary "
+                  "distribution)\n");
+    }
+  }
+
+  // HMM view with the randomizing input held fixed.
+  std::printf("\nHMM view (input B=1, C=0):\n");
+  const automata::QuantumHmm hmm(std::move(machine), 0b10);
+  const auto traj = hmm.sample(0, 24, rng);
+  std::printf("  sampled hidden states: ");
+  for (const auto s : traj.states) std::printf("%u", s);
+  std::printf("\n  log-likelihood of the sampled emissions: %.4f\n",
+              hmm.log_likelihood(0, traj.emissions));
+  std::printf("  p(next=0 | state=0) = %.3f, p(next=1 | state=0) = %.3f\n",
+              hmm.transition_probability(0, 0),
+              hmm.transition_probability(0, 1));
+  return 0;
+}

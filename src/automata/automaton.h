@@ -1,0 +1,79 @@
+// qsyn/automata/automaton.h
+//
+// Quantum-realized probabilistic state machines (Figure 3 of the paper):
+// a synthesized combinational quantum circuit, a measurement unit, and a
+// state register closed in a loop. Each cycle the register bits (and
+// optional external input bits) enter the circuit as pure binary values, the
+// outputs are measured, and designated output wires are latched as the next
+// state. Externally the machine is a probabilistic finite state machine.
+//
+// The induced Markov chain is computed *exactly* from the multi-valued
+// model: each (state, input) pair yields a quaternary output pattern whose
+// measurement distribution factorizes per wire. The linear-algebra substrate
+// solves for the stationary distribution, and Monte-Carlo runs validate it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gates/cascade.h"
+#include "la/matrix.h"
+
+namespace qsyn::automata {
+
+/// A probabilistic FSM realized by a quantum combinational circuit.
+///
+/// Wire layout: the first `state_wires` wires carry the current state (and
+/// their measured values become the next state); the remaining wires are
+/// external inputs (re-armed with fresh input bits every cycle) whose
+/// measured values are the machine's observable output.
+class QuantumAutomaton {
+ public:
+  QuantumAutomaton(gates::Cascade circuit, std::size_t state_wires);
+
+  [[nodiscard]] std::size_t state_wires() const { return state_wires_; }
+  [[nodiscard]] std::size_t input_wires() const {
+    return circuit_.wires() - state_wires_;
+  }
+  [[nodiscard]] std::size_t state_count() const {
+    return std::size_t(1) << state_wires_;
+  }
+  [[nodiscard]] const gates::Cascade& circuit() const { return circuit_; }
+
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+  void reset(std::uint32_t state = 0);
+
+  /// Runs one cycle with the given external input bits; returns the full
+  /// measured output word (state bits high, output bits low).
+  std::uint32_t step(std::uint32_t input_bits, Rng& rng);
+
+  /// Exact joint distribution over measured output words for one
+  /// (state, input) pair.
+  [[nodiscard]] std::vector<double> output_distribution(
+      std::uint32_t state, std::uint32_t input_bits) const;
+
+  /// Exact state-transition matrix for a fixed input: T(next, current).
+  /// Columns sum to 1 (column-stochastic, composable with la::Matrix
+  /// products acting on probability column vectors).
+  [[nodiscard]] la::Matrix transition_matrix(std::uint32_t input_bits) const;
+
+  /// Stationary distribution of the chain under a fixed input, computed by
+  /// solving (T - I) pi = 0 with the normalization row sum(pi) = 1.
+  /// Requires the chain to have a unique stationary distribution.
+  [[nodiscard]] std::vector<double> stationary_distribution(
+      std::uint32_t input_bits) const;
+
+  /// Empirical state-visit frequencies over `cycles` Monte-Carlo steps with
+  /// a fixed input (after discarding `burn_in` steps).
+  [[nodiscard]] std::vector<double> empirical_distribution(
+      std::uint32_t input_bits, std::size_t cycles, Rng& rng,
+      std::size_t burn_in = 128);
+
+ private:
+  gates::Cascade circuit_;
+  std::size_t state_wires_;
+  std::uint32_t state_ = 0;
+};
+
+}  // namespace qsyn::automata

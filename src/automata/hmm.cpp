@@ -1,0 +1,96 @@
+#include "automata/hmm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace qsyn::automata {
+
+QuantumHmm::QuantumHmm(QuantumAutomaton automaton, std::uint32_t input_bits)
+    : automaton_(std::move(automaton)), input_bits_(input_bits) {
+  QSYN_CHECK(input_bits_ < (1u << automaton_.input_wires()),
+             "input out of range");
+  joint_.reserve(automaton_.state_count());
+  for (std::uint32_t s = 0; s < automaton_.state_count(); ++s) {
+    joint_.push_back(automaton_.output_distribution(s, input_bits_));
+  }
+}
+
+double QuantumHmm::joint_probability(std::uint32_t state,
+                                     std::uint32_t next_state,
+                                     std::uint32_t emission) const {
+  QSYN_CHECK(state < state_count() && next_state < state_count() &&
+                 emission < emission_count(),
+             "argument out of range");
+  const std::uint32_t word =
+      (next_state << automaton_.input_wires()) | emission;
+  return joint_[state][word];
+}
+
+double QuantumHmm::transition_probability(std::uint32_t state,
+                                          std::uint32_t next_state) const {
+  double p = 0.0;
+  for (std::uint32_t e = 0; e < emission_count(); ++e) {
+    p += joint_probability(state, next_state, e);
+  }
+  return p;
+}
+
+QuantumHmm::Trajectory QuantumHmm::sample(std::uint32_t initial_state,
+                                          std::size_t length, Rng& rng) const {
+  Trajectory out;
+  out.states.reserve(length);
+  out.emissions.reserve(length);
+  std::uint32_t state = initial_state;
+  for (std::size_t i = 0; i < length; ++i) {
+    // Draw from the joint law of (next state, emission).
+    const std::vector<double>& dist = joint_[state];
+    const double r = rng.uniform();
+    double cumulative = 0.0;
+    std::uint32_t word = static_cast<std::uint32_t>(dist.size() - 1);
+    for (std::uint32_t w = 0; w < dist.size(); ++w) {
+      cumulative += dist[w];
+      if (r < cumulative) {
+        word = w;
+        break;
+      }
+    }
+    const std::uint32_t next = word >> automaton_.input_wires();
+    const std::uint32_t emission =
+        word & ((1u << automaton_.input_wires()) - 1u);
+    out.states.push_back(next);
+    out.emissions.push_back(emission);
+    state = next;
+  }
+  return out;
+}
+
+double QuantumHmm::log_likelihood(
+    std::uint32_t initial_state,
+    const std::vector<std::uint32_t>& emissions) const {
+  QSYN_CHECK(initial_state < state_count(), "state out of range");
+  // Forward algorithm with per-step normalization for numerical stability.
+  std::vector<double> alpha(state_count(), 0.0);
+  alpha[initial_state] = 1.0;
+  double log_like = 0.0;
+  for (const std::uint32_t emission : emissions) {
+    QSYN_CHECK(emission < emission_count(), "emission out of range");
+    std::vector<double> next(state_count(), 0.0);
+    for (std::uint32_t s = 0; s < state_count(); ++s) {
+      if (alpha[s] == 0.0) continue;
+      for (std::uint32_t t = 0; t < state_count(); ++t) {
+        next[t] += alpha[s] * joint_probability(s, t, emission);
+      }
+    }
+    double total = 0.0;
+    for (const double v : next) total += v;
+    if (total <= 0.0) return -std::numeric_limits<double>::infinity();
+    for (double& v : next) v /= total;
+    log_like += std::log(total);
+    alpha = std::move(next);
+  }
+  return log_like;
+}
+
+}  // namespace qsyn::automata

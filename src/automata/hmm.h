@@ -1,0 +1,67 @@
+// qsyn/automata/hmm.h
+//
+// Hidden Markov Models realized by quantum automata (Section 4: "This
+// approach will enable us to synthesize minimal quantum automata, Hidden
+// Markov Models and similar concepts").
+//
+// The hidden chain is a QuantumAutomaton's state register; the emissions are
+// the measured non-state output wires. Because measurement factorizes over
+// wires, the joint transition/emission law is exact and the classical
+// forward algorithm evaluates observation likelihoods.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "common/rng.h"
+
+namespace qsyn::automata {
+
+/// An HMM view over a quantum automaton driven with a fixed external input.
+class QuantumHmm {
+ public:
+  /// `input_bits` is the fixed external input applied every cycle.
+  QuantumHmm(QuantumAutomaton automaton, std::uint32_t input_bits);
+
+  [[nodiscard]] std::size_t state_count() const {
+    return automaton_.state_count();
+  }
+  [[nodiscard]] std::size_t emission_count() const {
+    return std::size_t(1) << automaton_.input_wires();
+  }
+
+  /// Exact joint law p(next_state, emission | state).
+  [[nodiscard]] double joint_probability(std::uint32_t state,
+                                         std::uint32_t next_state,
+                                         std::uint32_t emission) const;
+
+  /// Marginal transition probability p(next | state).
+  [[nodiscard]] double transition_probability(std::uint32_t state,
+                                              std::uint32_t next_state) const;
+
+  /// Samples a (hidden states, emissions) trajectory of the given length
+  /// starting from `initial_state`. Hidden states are the states *after*
+  /// each step.
+  struct Trajectory {
+    std::vector<std::uint32_t> states;
+    std::vector<std::uint32_t> emissions;
+  };
+  [[nodiscard]] Trajectory sample(std::uint32_t initial_state,
+                                  std::size_t length, Rng& rng) const;
+
+  /// Exact log-likelihood of an emission sequence via the forward algorithm,
+  /// starting from a point mass on `initial_state`. Returns -inf for an
+  /// impossible sequence.
+  [[nodiscard]] double log_likelihood(
+      std::uint32_t initial_state,
+      const std::vector<std::uint32_t>& emissions) const;
+
+ private:
+  QuantumAutomaton automaton_;
+  std::uint32_t input_bits_;
+  // joint_[state][word] with word = (next_state << input_wires) | emission.
+  std::vector<std::vector<double>> joint_;
+};
+
+}  // namespace qsyn::automata

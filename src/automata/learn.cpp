@@ -1,0 +1,82 @@
+#include "automata/learn.h"
+
+#include <cmath>
+
+#include "automata/measurement.h"
+#include "common/error.h"
+#include "mvl/pattern.h"
+
+namespace qsyn::automata {
+
+std::optional<LearnedSpec> infer_spec(
+    std::size_t wires, const std::vector<BehaviorSample>& samples,
+    std::size_t min_samples, double margin) {
+  QSYN_CHECK(wires >= 1 && wires <= 8, "unsupported wire count");
+  QSYN_CHECK(margin > 0.0 && margin < 0.25,
+             "margin must separate 0, 1/2 and 1");
+  const std::uint32_t input_count = 1u << wires;
+
+  std::vector<std::size_t> seen(input_count, 0);
+  std::vector<std::vector<std::size_t>> ones(
+      input_count, std::vector<std::size_t>(wires, 0));
+  for (const BehaviorSample& sample : samples) {
+    QSYN_CHECK(sample.input < input_count && sample.output < input_count,
+               "sample word out of range");
+    ++seen[sample.input];
+    for (std::size_t w = 0; w < wires; ++w) {
+      if ((sample.output >> (wires - 1 - w) & 1u) != 0) {
+        ++ones[sample.input][w];
+      }
+    }
+  }
+
+  std::vector<std::vector<WireBehavior>> rows(input_count);
+  std::size_t min_seen = samples.empty() ? 0 : seen[0];
+  for (std::uint32_t input = 0; input < input_count; ++input) {
+    min_seen = std::min(min_seen, seen[input]);
+    if (seen[input] < min_samples) return std::nullopt;  // undersampled
+    rows[input].resize(wires);
+    for (std::size_t w = 0; w < wires; ++w) {
+      const double frequency = static_cast<double>(ones[input][w]) /
+                               static_cast<double>(seen[input]);
+      if (frequency <= margin) {
+        rows[input][w] = WireBehavior::kZero;
+      } else if (frequency >= 1.0 - margin) {
+        rows[input][w] = WireBehavior::kOne;
+      } else if (std::abs(frequency - 0.5) <= margin) {
+        rows[input][w] = WireBehavior::kCoin;
+      } else {
+        return std::nullopt;  // not explainable by {0, 1/2, 1}
+      }
+    }
+  }
+  return LearnedSpec{BehavioralProbSpec(wires, std::move(rows)), min_seen};
+}
+
+std::optional<gates::Cascade> learn_circuit(
+    const gates::GateLibrary& library,
+    const std::vector<BehaviorSample>& samples, unsigned max_cost,
+    std::size_t min_samples, double margin) {
+  const auto learned = infer_spec(library.domain().wires(), samples,
+                                  min_samples, margin);
+  if (!learned.has_value()) return std::nullopt;
+  const ProbSynthesizer synthesizer(library, max_cost);
+  return synthesizer.synthesize(learned->spec);
+}
+
+std::vector<BehaviorSample> sample_behavior(const gates::Cascade& circuit,
+                                            std::size_t per_input, Rng& rng) {
+  std::vector<BehaviorSample> samples;
+  const std::uint32_t input_count = 1u << circuit.wires();
+  samples.reserve(per_input * input_count);
+  for (std::uint32_t input = 0; input < input_count; ++input) {
+    const mvl::Pattern output =
+        circuit.apply(mvl::Pattern::from_binary(circuit.wires(), input));
+    for (std::size_t i = 0; i < per_input; ++i) {
+      samples.push_back({input, sample_measurement(output, rng)});
+    }
+  }
+  return samples;
+}
+
+}  // namespace qsyn::automata

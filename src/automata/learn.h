@@ -1,0 +1,64 @@
+// qsyn/automata/learn.h
+//
+// Synthesis from behavioral examples — the paper's stated future work
+// ("finding efficient heuristics that would allow us to synthesize
+// probabilistic ... machines from examples of their behaviors", Conclusion).
+//
+// Within the four-valued signal model every measured wire is deterministic
+// (probability 0 or 1) or an unbiased coin (probability 1/2), so observed
+// input/output samples identify a BehavioralProbSpec as soon as each input
+// has been observed often enough: estimate Pr[wire = 1 | input], classify
+// each estimate into {0, 1/2, 1} within a confidence margin, and hand the
+// resulting spec to the minimal-cost synthesizer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/prob_spec.h"
+#include "automata/prob_synth.h"
+#include "common/rng.h"
+#include "gates/cascade.h"
+#include "gates/library.h"
+
+namespace qsyn::automata {
+
+/// One observed behavior sample: a binary input word and the measured
+/// binary output word (wire 0 = most significant bit).
+struct BehaviorSample {
+  std::uint32_t input = 0;
+  std::uint32_t output = 0;
+};
+
+/// Outcome of spec recovery from samples.
+struct LearnedSpec {
+  BehavioralProbSpec spec;
+  /// Smallest number of samples seen for any input (coverage indicator).
+  std::size_t min_samples_per_input = 0;
+};
+
+/// Estimates the behavioral spec underlying `samples`.
+///
+/// Requirements: every input word in [0, 2^wires) must appear at least
+/// `min_samples` times, and every per-wire frequency must fall within
+/// `margin` of 0, 1/2 or 1 — otherwise the samples are not explainable by a
+/// four-valued circuit and nullopt is returned.
+[[nodiscard]] std::optional<LearnedSpec> infer_spec(
+    std::size_t wires, const std::vector<BehaviorSample>& samples,
+    std::size_t min_samples = 16, double margin = 0.2);
+
+/// End-to-end learning: infer the spec from samples and synthesize a
+/// minimal-cost circuit realizing it. nullopt when the spec cannot be
+/// inferred or no reasonable cascade of cost <= max_cost matches it.
+[[nodiscard]] std::optional<gates::Cascade> learn_circuit(
+    const gates::GateLibrary& library,
+    const std::vector<BehaviorSample>& samples, unsigned max_cost = 7,
+    std::size_t min_samples = 16, double margin = 0.2);
+
+/// Convenience for tests and demos: draws `per_input` measured samples from
+/// `circuit` for every binary input.
+[[nodiscard]] std::vector<BehaviorSample> sample_behavior(
+    const gates::Cascade& circuit, std::size_t per_input, Rng& rng);
+
+}  // namespace qsyn::automata

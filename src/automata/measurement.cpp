@@ -1,0 +1,38 @@
+#include "automata/measurement.h"
+
+#include "common/error.h"
+
+namespace qsyn::automata {
+
+double outcome_probability(const mvl::Pattern& pattern, std::uint32_t bits) {
+  QSYN_CHECK(bits < (1u << pattern.wires()), "outcome out of range");
+  double p = 1.0;
+  for (std::size_t w = 0; w < pattern.wires(); ++w) {
+    const bool bit = ((bits >> (pattern.wires() - 1 - w)) & 1u) != 0;
+    const double p_one = mvl::measure_one_probability(pattern.get(w));
+    p *= bit ? p_one : (1.0 - p_one);
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+std::vector<double> outcome_distribution(const mvl::Pattern& pattern) {
+  const std::uint32_t count = 1u << pattern.wires();
+  std::vector<double> dist(count);
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    dist[bits] = outcome_probability(pattern, bits);
+  }
+  return dist;
+}
+
+std::uint32_t sample_measurement(const mvl::Pattern& pattern, Rng& rng) {
+  std::uint32_t bits = 0;
+  for (std::size_t w = 0; w < pattern.wires(); ++w) {
+    const double p_one = mvl::measure_one_probability(pattern.get(w));
+    const bool bit = rng.bernoulli(p_one);
+    bits = (bits << 1) | (bit ? 1u : 0u);
+  }
+  return bits;
+}
+
+}  // namespace qsyn::automata

@@ -1,0 +1,34 @@
+// qsyn/automata/measurement.h
+//
+// Quantum measurement semantics for quaternary output patterns (Section 4).
+//
+// After a reasonable cascade, every wire carries one of {0, 1, V0, V1} and
+// the joint state is the product of the corresponding single-qubit states, so
+// full measurement factorizes: wire w yields 1 with probability 0, 1, or 1/2
+// and wires are independent. These helpers turn an output pattern into the
+// exact outcome distribution and sample from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mvl/pattern.h"
+
+namespace qsyn::automata {
+
+/// Exact probability of measuring outcome `bits` (wire 0 = MSB) from the
+/// product state described by `pattern`.
+[[nodiscard]] double outcome_probability(const mvl::Pattern& pattern,
+                                         std::uint32_t bits);
+
+/// The full outcome distribution over all 2^wires bit vectors.
+[[nodiscard]] std::vector<double> outcome_distribution(
+    const mvl::Pattern& pattern);
+
+/// Samples one full measurement (each mixed wire is an independent fair
+/// coin; binary wires are deterministic).
+[[nodiscard]] std::uint32_t sample_measurement(const mvl::Pattern& pattern,
+                                               Rng& rng);
+
+}  // namespace qsyn::automata

@@ -1,0 +1,111 @@
+#include "automata/prob_spec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qsyn::automata {
+
+std::string to_string(WireBehavior b) {
+  switch (b) {
+    case WireBehavior::kZero:
+      return "0";
+    case WireBehavior::kOne:
+      return "1";
+    case WireBehavior::kCoin:
+      return "coin";
+  }
+  throw qsyn::LogicError("to_string: invalid WireBehavior");
+}
+
+ExactProbSpec::ExactProbSpec(std::size_t wires,
+                             std::vector<mvl::Pattern> outputs)
+    : wires_(wires), outputs_(std::move(outputs)) {
+  QSYN_CHECK(outputs_.size() == (std::size_t(1) << wires_),
+             "exact spec needs one output per binary input");
+  for (const mvl::Pattern& p : outputs_) {
+    QSYN_CHECK(p.wires() == wires_, "output pattern wire count mismatch");
+  }
+}
+
+const mvl::Pattern& ExactProbSpec::output_for(std::uint32_t input) const {
+  QSYN_CHECK(input < outputs_.size(), "input out of range");
+  return outputs_[input];
+}
+
+bool ExactProbSpec::is_realizable_shape(
+    const mvl::PatternDomain& domain) const {
+  std::vector<std::uint32_t> labels;
+  for (const mvl::Pattern& p : outputs_) {
+    if (!domain.contains(p)) return false;
+    labels.push_back(domain.label_of(p));
+  }
+  std::sort(labels.begin(), labels.end());
+  return std::adjacent_find(labels.begin(), labels.end()) == labels.end();
+}
+
+BehavioralProbSpec::BehavioralProbSpec(
+    std::size_t wires, std::vector<std::vector<WireBehavior>> behaviors)
+    : wires_(wires), behaviors_(std::move(behaviors)) {
+  QSYN_CHECK(behaviors_.size() == (std::size_t(1) << wires_),
+             "behavioral spec needs one row per binary input");
+  for (const auto& row : behaviors_) {
+    QSYN_CHECK(row.size() == wires_, "behavior row wire count mismatch");
+  }
+}
+
+const std::vector<WireBehavior>& BehavioralProbSpec::behavior_for(
+    std::uint32_t input) const {
+  QSYN_CHECK(input < behaviors_.size(), "input out of range");
+  return behaviors_[input];
+}
+
+bool BehavioralProbSpec::accepts(std::uint32_t input,
+                                 const mvl::Pattern& pattern) const {
+  QSYN_CHECK(pattern.wires() == wires_, "pattern wire count mismatch");
+  const auto& row = behavior_for(input);
+  for (std::size_t w = 0; w < wires_; ++w) {
+    const mvl::Quat value = pattern.get(w);
+    switch (row[w]) {
+      case WireBehavior::kZero:
+        if (value != mvl::Quat::kZero) return false;
+        break;
+      case WireBehavior::kOne:
+        if (value != mvl::Quat::kOne) return false;
+        break;
+      case WireBehavior::kCoin:
+        if (!mvl::is_mixed(value)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<double> BehavioralProbSpec::target_distribution(
+    std::uint32_t input) const {
+  const auto& row = behavior_for(input);
+  const std::uint32_t count = 1u << wires_;
+  std::vector<double> dist(count, 0.0);
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    double p = 1.0;
+    for (std::size_t w = 0; w < wires_; ++w) {
+      const bool bit = ((bits >> (wires_ - 1 - w)) & 1u) != 0;
+      switch (row[w]) {
+        case WireBehavior::kZero:
+          if (bit) p = 0.0;
+          break;
+        case WireBehavior::kOne:
+          if (!bit) p = 0.0;
+          break;
+        case WireBehavior::kCoin:
+          p *= 0.5;
+          break;
+      }
+      if (p == 0.0) break;
+    }
+    dist[bits] = p;
+  }
+  return dist;
+}
+
+}  // namespace qsyn::automata

@@ -1,0 +1,81 @@
+// qsyn/automata/prob_spec.h
+//
+// Specifications for probabilistic combinational circuits (Section 4): a
+// truth table with *binary inputs* and *quaternary outputs*. Removing the
+// binary-output constraint of Section 3 turns the same synthesis machinery
+// into a design flow for controlled random number generators and the
+// combinational cores of probabilistic state machines.
+//
+// Two specification styles are supported:
+//  * exact: each binary input maps to one concrete quaternary pattern;
+//  * behavioral: each (input, wire) pair requires Pr[measure 1] to be 0, 1/2
+//    or 1 — both V0 and V1 satisfy the 1/2 requirement, and the synthesizer
+//    may choose whichever is reachable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mvl/domain.h"
+#include "mvl/pattern.h"
+
+namespace qsyn::automata {
+
+/// Per-wire behavioral requirement.
+enum class WireBehavior : std::uint8_t {
+  kZero,    // must measure 0
+  kOne,     // must measure 1
+  kCoin,    // must be an unbiased coin (value V0 or V1)
+};
+
+[[nodiscard]] std::string to_string(WireBehavior b);
+
+/// An exact quaternary output spec: outputs[i] is the required output
+/// pattern for the binary input with value i (wire 0 = MSB).
+class ExactProbSpec {
+ public:
+  ExactProbSpec(std::size_t wires, std::vector<mvl::Pattern> outputs);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+  [[nodiscard]] const mvl::Pattern& output_for(std::uint32_t input) const;
+  [[nodiscard]] std::size_t input_count() const { return outputs_.size(); }
+
+  /// A realizable spec must be injective on domain labels (a cascade acts as
+  /// a permutation of the domain) and every output must live in `domain`.
+  [[nodiscard]] bool is_realizable_shape(
+      const mvl::PatternDomain& domain) const;
+
+ private:
+  std::size_t wires_;
+  std::vector<mvl::Pattern> outputs_;
+};
+
+/// A behavioral spec: behaviors[i][w] constrains wire w's measurement
+/// statistics for binary input i.
+class BehavioralProbSpec {
+ public:
+  BehavioralProbSpec(std::size_t wires,
+                     std::vector<std::vector<WireBehavior>> behaviors);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+  [[nodiscard]] std::size_t input_count() const { return behaviors_.size(); }
+  [[nodiscard]] const std::vector<WireBehavior>& behavior_for(
+      std::uint32_t input) const;
+
+  /// True iff `pattern` satisfies input i's requirements.
+  [[nodiscard]] bool accepts(std::uint32_t input,
+                             const mvl::Pattern& pattern) const;
+
+  /// The exact target measurement distribution for input i (product of the
+  /// per-wire behaviors).
+  [[nodiscard]] std::vector<double> target_distribution(
+      std::uint32_t input) const;
+
+ private:
+  std::size_t wires_;
+  std::vector<std::vector<WireBehavior>> behaviors_;
+};
+
+}  // namespace qsyn::automata

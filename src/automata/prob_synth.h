@@ -1,0 +1,45 @@
+// qsyn/automata/prob_synth.h
+//
+// Minimal-cost synthesis of probabilistic combinational circuits:
+// the Section-3 machinery with the binary-output restriction dropped
+// ("our approach generates quantum circuits with probabilistic combinational
+// functionality ... without any modifications", Section 4).
+//
+// The synthesizer searches reasonable cascades by iterative deepening, so
+// the first depth at which a spec is met is its exact minimal quantum cost.
+#pragma once
+
+#include <optional>
+
+#include "automata/prob_spec.h"
+#include "gates/cascade.h"
+#include "gates/library.h"
+
+namespace qsyn::automata {
+
+/// Iterative-deepening synthesizer over a gate library.
+class ProbSynthesizer {
+ public:
+  explicit ProbSynthesizer(const gates::GateLibrary& library,
+                           unsigned max_cost = 7);
+
+  /// Minimal cascade realizing an exact quaternary spec, or nullopt when no
+  /// reasonable cascade of cost <= max_cost matches.
+  [[nodiscard]] std::optional<gates::Cascade> synthesize(
+      const ExactProbSpec& spec) const;
+
+  /// Minimal cascade whose measurement behavior matches a behavioral spec.
+  [[nodiscard]] std::optional<gates::Cascade> synthesize(
+      const BehavioralProbSpec& spec) const;
+
+  [[nodiscard]] unsigned max_cost() const { return max_cost_; }
+
+ private:
+  template <typename AcceptFn>
+  [[nodiscard]] std::optional<gates::Cascade> search(AcceptFn accepts) const;
+
+  const gates::GateLibrary* library_;
+  unsigned max_cost_;
+};
+
+}  // namespace qsyn::automata

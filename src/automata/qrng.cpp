@@ -1,0 +1,58 @@
+#include "automata/qrng.h"
+
+#include "automata/measurement.h"
+#include "automata/prob_synth.h"
+#include "common/error.h"
+
+namespace qsyn::automata {
+
+std::optional<ControlledQrng> ControlledQrng::synthesize(
+    const gates::GateLibrary& library, const BehavioralProbSpec& spec,
+    unsigned max_cost) {
+  ProbSynthesizer synthesizer(library, max_cost);
+  auto cascade = synthesizer.synthesize(spec);
+  if (!cascade.has_value()) return std::nullopt;
+  return ControlledQrng(std::move(*cascade));
+}
+
+std::vector<double> ControlledQrng::distribution(std::uint32_t input) const {
+  const mvl::Pattern output =
+      circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), input));
+  return outcome_distribution(output);
+}
+
+std::uint32_t ControlledQrng::generate(std::uint32_t input, Rng& rng) const {
+  const mvl::Pattern output =
+      circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), input));
+  return sample_measurement(output, rng);
+}
+
+std::vector<std::size_t> ControlledQrng::histogram(std::uint32_t input,
+                                                   std::size_t count,
+                                                   Rng& rng) const {
+  std::vector<std::size_t> hist(std::size_t(1) << circuit_.wires(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++hist[generate(input, rng)];
+  }
+  return hist;
+}
+
+BehavioralProbSpec controlled_coin_spec(std::size_t wires) {
+  QSYN_CHECK(wires >= 2, "controlled coin spec needs at least 2 wires");
+  const std::uint32_t count = 1u << wires;
+  std::vector<std::vector<WireBehavior>> rows;
+  rows.reserve(count);
+  for (std::uint32_t input = 0; input < count; ++input) {
+    std::vector<WireBehavior> row(wires);
+    const bool armed = ((input >> (wires - 1)) & 1u) != 0;  // wire 0 == 1?
+    for (std::size_t w = 0; w < wires; ++w) {
+      const bool bit = ((input >> (wires - 1 - w)) & 1u) != 0;
+      row[w] = bit ? WireBehavior::kOne : WireBehavior::kZero;
+    }
+    if (armed) row[wires - 1] = WireBehavior::kCoin;
+    rows.push_back(std::move(row));
+  }
+  return BehavioralProbSpec(wires, std::move(rows));
+}
+
+}  // namespace qsyn::automata

@@ -1,0 +1,56 @@
+// qsyn/automata/qrng.h
+//
+// Controlled quantum random number generators (Section 4 and [19]): a
+// synthesized quantum circuit whose measured outputs are fair coins on
+// selected wires, selectable by binary control inputs. The circuit + a
+// measurement unit behaves as a probabilistic combinational circuit with
+// deterministic inputs and probabilistic outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/prob_spec.h"
+#include "common/rng.h"
+#include "gates/cascade.h"
+#include "gates/library.h"
+
+namespace qsyn::automata {
+
+/// A synthesized controlled RNG.
+class ControlledQrng {
+ public:
+  /// Builds a QRNG from a behavioral spec (which wires must be coins for
+  /// which inputs) by minimal-cost synthesis. Returns nullopt when the spec
+  /// is unrealizable within `max_cost` library gates.
+  static std::optional<ControlledQrng> synthesize(
+      const gates::GateLibrary& library, const BehavioralProbSpec& spec,
+      unsigned max_cost = 7);
+
+  /// The underlying circuit.
+  [[nodiscard]] const gates::Cascade& circuit() const { return circuit_; }
+
+  /// Exact output distribution for a binary input (over 2^wires outcomes).
+  [[nodiscard]] std::vector<double> distribution(std::uint32_t input) const;
+
+  /// Draws one measured output word for the given input.
+  [[nodiscard]] std::uint32_t generate(std::uint32_t input, Rng& rng) const;
+
+  /// Draws `count` outputs and returns per-outcome counts (histogram).
+  [[nodiscard]] std::vector<std::size_t> histogram(std::uint32_t input,
+                                                   std::size_t count,
+                                                   Rng& rng) const;
+
+ private:
+  explicit ControlledQrng(gates::Cascade circuit)
+      : circuit_(std::move(circuit)) {}
+  gates::Cascade circuit_;
+};
+
+/// Convenience: the canonical 1-coin QRNG spec on n wires — input bits pass
+/// through unchanged except the last wire, which becomes a fair coin whenever
+/// the first wire is 1 (a "controlled" random bit).
+[[nodiscard]] BehavioralProbSpec controlled_coin_spec(std::size_t wires);
+
+}  // namespace qsyn::automata

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace qsyn::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << message << " [check `" << expr << "` failed at " << file << ":" << line
+     << "]";
+  throw LogicError(os.str());
+}
+
+}  // namespace qsyn::detail

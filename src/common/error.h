@@ -1,0 +1,60 @@
+// qsyn/common/error.h
+//
+// Error handling primitives for the qsyn library.
+//
+// Policy (see C++ Core Guidelines E.*): programming errors (violated
+// preconditions, broken invariants) abort via QSYN_ASSERT in debug builds and
+// throw qsyn::LogicError in release builds so library users get a catchable,
+// descriptive error instead of UB. Recoverable user-facing errors (bad parse
+// input, infeasible synthesis specs) throw the dedicated exception types below.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qsyn {
+
+/// Base class of all exceptions thrown by qsyn.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A violated precondition or internal invariant (a bug in the caller or in
+/// qsyn itself), carrying the failing expression and source location.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed textual input (cycle notation, cascade strings, spec files).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A well-formed request that has no answer within configured resource bounds
+/// (e.g. a circuit whose minimal cost exceeds the enumeration bound cb).
+class SynthesisError : public Error {
+ public:
+  explicit SynthesisError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace qsyn
+
+/// Precondition / invariant check. Always on (the checked domains here are
+/// small; correctness beats the nanoseconds).
+#define QSYN_CHECK(expr, message)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::qsyn::detail::fail_check(#expr, __FILE__, __LINE__, message); \
+    }                                                                 \
+  } while (false)
+
+/// Shorthand for argument validation.
+#define QSYN_REQUIRE(expr) QSYN_CHECK(expr, "requirement violated")

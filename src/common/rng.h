@@ -1,0 +1,44 @@
+// qsyn/common/rng.h
+//
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+//
+// All stochastic components of qsyn (measurement sampling, randomized
+// property tests, Monte-Carlo automaton runs) draw from this generator so
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qsyn {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qsyn

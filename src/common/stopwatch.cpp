@@ -1,0 +1,9 @@
+#include "common/stopwatch.h"
+
+namespace qsyn {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace qsyn

@@ -1,0 +1,29 @@
+// qsyn/common/stopwatch.h
+//
+// Minimal monotonic stopwatch used by benchmarks and progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace qsyn {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qsyn

@@ -1,0 +1,59 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace qsyn {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = text.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(trim(text.substr(pos)));
+      return out;
+    }
+    out.emplace_back(trim(text.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& value, std::size_t width) {
+  if (value.size() >= width) return value;
+  return std::string(width - value.size(), ' ') + value;
+}
+
+std::string pad_right(const std::string& value, std::size_t width) {
+  if (value.size() >= width) return value;
+  return value + std::string(width - value.size(), ' ');
+}
+
+}  // namespace qsyn

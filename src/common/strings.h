@@ -1,0 +1,32 @@
+// qsyn/common/strings.h
+//
+// Small string utilities shared across modules (parsing cycle notation and
+// cascade expressions, rendering tables).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsyn {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Renders `value` right-aligned in a field of `width` characters.
+std::string pad_left(const std::string& value, std::size_t width);
+
+/// Renders `value` left-aligned in a field of `width` characters.
+std::string pad_right(const std::string& value, std::size_t width);
+
+}  // namespace qsyn

@@ -1,0 +1,189 @@
+#include "gates/cascade.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qsyn::gates {
+
+Cascade::Cascade(std::size_t wires) : wires_(wires) {
+  QSYN_CHECK(wires >= 1 && wires <= mvl::kMaxWires, "bad wire count");
+}
+
+Cascade::Cascade(std::size_t wires, std::vector<Gate> gate_sequence)
+    : Cascade(wires) {
+  for (const Gate& g : gate_sequence) append(g);
+  (void)gates_;  // appended above
+}
+
+Cascade Cascade::parse(const std::string& text, std::size_t wires) {
+  const std::string_view body = qsyn::trim(text);
+  std::vector<Gate> gates;
+  std::size_t max_wire = 1;  // at least wires A and B exist
+  if (body != "()" && !body.empty()) {
+    for (const std::string& piece : qsyn::split(std::string(body), '*')) {
+      if (piece.empty()) {
+        throw qsyn::ParseError("empty gate in cascade: " + text);
+      }
+      const Gate g = Gate::parse(piece);
+      max_wire = std::max(max_wire, g.target());
+      if (g.has_control()) max_wire = std::max(max_wire, g.control());
+      gates.push_back(g);
+    }
+  }
+  const std::size_t inferred = max_wire + 1;
+  const std::size_t n = wires == 0 ? inferred : wires;
+  if (n < inferred) {
+    throw qsyn::ParseError("cascade uses more wires than requested: " + text);
+  }
+  return Cascade(n, std::move(gates));
+}
+
+const Gate& Cascade::gate(std::size_t i) const {
+  QSYN_CHECK(i < gates_.size(), "cascade gate index out of range");
+  return gates_[i];
+}
+
+void Cascade::append(const Gate& g) {
+  QSYN_CHECK(g.target() < wires_ && (!g.has_control() || g.control() < wires_),
+             "gate wires exceed cascade wires");
+  gates_.push_back(g);
+}
+
+unsigned Cascade::cost(const CostModel& model) const {
+  unsigned total = 0;
+  for (const Gate& g : gates_) total += g.cost(model);
+  return total;
+}
+
+mvl::Pattern Cascade::apply(const mvl::Pattern& input) const {
+  QSYN_CHECK(input.wires() == wires_, "pattern wire count mismatch");
+  mvl::Pattern p = input;
+  for (const Gate& g : gates_) p = g.apply(p);
+  return p;
+}
+
+perm::Permutation Cascade::to_permutation(
+    const mvl::PatternDomain& domain) const {
+  QSYN_CHECK(domain.wires() == wires_, "domain wire count mismatch");
+  std::vector<std::uint32_t> images(domain.size());
+  for (std::uint32_t label = 1; label <= domain.size(); ++label) {
+    images[label - 1] = domain.label_of(apply(domain.pattern(label)));
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+perm::Permutation Cascade::to_binary_permutation() const {
+  const std::uint32_t count = 1u << wires_;
+  std::vector<std::uint32_t> images(count);
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    const mvl::Pattern out = apply(mvl::Pattern::from_binary(wires_, bits));
+    QSYN_CHECK(out.is_binary(),
+               "cascade is not a reversible binary circuit (binary input " +
+                   std::to_string(bits) + " gives " + out.to_string() + ")");
+    images[bits] = out.binary_value() + 1;
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+bool Cascade::is_binary_preserving() const {
+  const std::uint32_t count = 1u << wires_;
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    if (!apply(mvl::Pattern::from_binary(wires_, bits)).is_binary()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cascade::is_reasonable(const mvl::PatternDomain& domain) const {
+  QSYN_CHECK(domain.wires() == wires_, "domain wire count mismatch");
+  // Track the images of the binary inputs through the cascade prefix.
+  std::vector<mvl::Pattern> images;
+  images.reserve(domain.binary_count());
+  for (std::uint32_t bits = 0; bits < domain.binary_count(); ++bits) {
+    images.push_back(mvl::Pattern::from_binary(wires_, bits));
+  }
+  for (const Gate& g : gates_) {
+    const auto klass = g.banned_class(domain);
+    if (klass.has_value()) {
+      for (const mvl::Pattern& p : images) {
+        if ((domain.banned_mask(domain.label_of(p)) >> *klass & 1u) != 0) {
+          return false;
+        }
+      }
+    }
+    for (mvl::Pattern& p : images) p = g.apply(p);
+  }
+  return true;
+}
+
+Cascade Cascade::adjoint() const {
+  std::vector<Gate> reversed;
+  reversed.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    reversed.push_back(it->adjoint());
+  }
+  return Cascade(wires_, std::move(reversed));
+}
+
+std::string Cascade::to_string() const {
+  if (gates_.empty()) return "()";
+  std::string out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (i != 0) out += '*';
+    out += gates_[i].name();
+  }
+  return out;
+}
+
+std::string Cascade::to_diagram() const {
+  // One 6-character column per gate; wires as rows.
+  const std::string wire_fill = "------";
+  std::vector<std::string> rows(wires_);
+  for (std::size_t w = 0; w < wires_; ++w) {
+    rows[w] = std::string(1, wire_letter(w)) + " -";
+  }
+  for (const Gate& g : gates_) {
+    const std::size_t lo =
+        g.has_control() ? std::min(g.target(), g.control()) : g.target();
+    const std::size_t hi =
+        g.has_control() ? std::max(g.target(), g.control()) : g.target();
+    for (std::size_t w = 0; w < wires_; ++w) {
+      std::string cell = wire_fill;
+      if (g.has_control() && w == g.control()) {
+        cell = "--*---";
+      } else if (w == g.target()) {
+        switch (g.kind()) {
+          case GateKind::kCtrlV:
+            cell = "-[V ]-";
+            break;
+          case GateKind::kCtrlVdag:
+            cell = "-[V+]-";
+            break;
+          case GateKind::kFeynman:
+            cell = "-(+)--";
+            break;
+          case GateKind::kNot:
+            cell = "-[X]--";
+            break;
+        }
+      } else if (w > lo && w < hi) {
+        cell = "--|---";
+      }
+      rows[w] += cell;
+    }
+  }
+  std::string out;
+  for (std::size_t w = 0; w < wires_; ++w) {
+    out += rows[w];
+    out += "-- ";
+    out += wire_letter(w);
+    out += '\'';
+    if (w + 1 != wires_) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qsyn::gates

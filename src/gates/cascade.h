@@ -1,0 +1,92 @@
+// qsyn/gates/cascade.h
+//
+// A Cascade is a left-to-right sequence of elementary gates — the circuit
+// form the paper synthesizes. Cascade order matches the paper's product
+// convention: the cascade {g1, g2, g3} computes g1*g2*g3, i.e. g1 acts on the
+// inputs first. Cascades parse from and print to the paper's notation, e.g.
+// "VCB*FBA*VCA*V+CB" (the Peres circuit of Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/gate.h"
+#include "mvl/domain.h"
+#include "mvl/pattern.h"
+#include "perm/permutation.h"
+
+namespace qsyn::gates {
+
+/// A gate cascade on a fixed number of wires.
+class Cascade {
+ public:
+  /// Empty cascade (the identity circuit) on `wires` wires.
+  explicit Cascade(std::size_t wires);
+
+  /// From an explicit gate sequence.
+  Cascade(std::size_t wires, std::vector<Gate> gate_sequence);
+
+  /// Parses "VCB*FBA*VCA*V+CB"; `wires` = 0 infers the wire count from the
+  /// highest wire letter used (minimum 2).
+  static Cascade parse(const std::string& text, std::size_t wires = 0);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] bool empty() const { return gates_.empty(); }
+  [[nodiscard]] const std::vector<Gate>& sequence() const { return gates_; }
+  [[nodiscard]] const Gate& gate(std::size_t i) const;
+
+  /// Appends a gate at the output end.
+  void append(const Gate& g);
+
+  /// Total quantum cost under the given model.
+  [[nodiscard]] unsigned cost(const CostModel& model = CostModel::unit()) const;
+
+  /// Runs the multi-valued semantics over the whole cascade.
+  [[nodiscard]] mvl::Pattern apply(const mvl::Pattern& input) const;
+
+  /// The cascade as a permutation of domain labels (product of the gate
+  /// permutations). Throws if some intermediate pattern leaves the domain
+  /// (possible only with NOT gates on reduced domains).
+  [[nodiscard]] perm::Permutation to_permutation(
+      const mvl::PatternDomain& domain) const;
+
+  /// Action on the 2^wires *binary* input patterns as a permutation of
+  /// {1..2^wires} (labels in binary-value order, 1 = all zeros). Throws
+  /// qsyn::LogicError if some binary input yields a non-binary output, i.e.
+  /// the cascade is not a reversible binary circuit.
+  [[nodiscard]] perm::Permutation to_binary_permutation() const;
+
+  /// True iff every binary input produces a binary output.
+  [[nodiscard]] bool is_binary_preserving() const;
+
+  /// The paper's "reasonable product" condition: checks, gate by gate, that
+  /// each gate's banned set is disjoint from the image of the binary inputs
+  /// under the prefix before it. NOT gates are unconstrained.
+  [[nodiscard]] bool is_reasonable(const mvl::PatternDomain& domain) const;
+
+  /// Hermitian adjoint circuit: gates reversed, V <-> V+. Satisfies
+  /// adjoint().to_permutation(d) == to_permutation(d).inverse().
+  [[nodiscard]] Cascade adjoint() const;
+
+  /// "VCB*FBA*VCA*V+CB"; "()" for the empty cascade.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Multi-line ASCII circuit diagram (wires as rows, gates as columns):
+  ///
+  ///   A ----*------*----*---
+  ///   B ----*----(+)----|---
+  ///   C --[V ]----------[V+]
+  [[nodiscard]] std::string to_diagram() const;
+
+  friend bool operator==(const Cascade& a, const Cascade& b) {
+    return a.wires_ == b.wires_ && a.gates_ == b.gates_;
+  }
+
+ private:
+  std::size_t wires_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qsyn::gates

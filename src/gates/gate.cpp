@@ -1,0 +1,218 @@
+#include "gates/gate.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qsyn::gates {
+
+std::string to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCtrlV:
+      return "controlled-V";
+    case GateKind::kCtrlVdag:
+      return "controlled-V+";
+    case GateKind::kFeynman:
+      return "Feynman";
+    case GateKind::kNot:
+      return "NOT";
+  }
+  throw qsyn::LogicError("to_string: invalid GateKind");
+}
+
+CostModel CostModel::unit() { return CostModel{}; }
+
+CostModel CostModel::nmr_like() {
+  // Representative non-uniform weights: controlled square-root gates need
+  // longer pulse sequences than a plain CNOT in NMR realizations.
+  CostModel m;
+  m.ctrl_v = 3;
+  m.ctrl_v_dagger = 3;
+  m.feynman = 2;
+  m.not_gate = 1;
+  return m;
+}
+
+unsigned CostModel::cost_of(GateKind kind) const {
+  switch (kind) {
+    case GateKind::kCtrlV:
+      return ctrl_v;
+    case GateKind::kCtrlVdag:
+      return ctrl_v_dagger;
+    case GateKind::kFeynman:
+      return feynman;
+    case GateKind::kNot:
+      return not_gate;
+  }
+  throw qsyn::LogicError("cost_of: invalid GateKind");
+}
+
+Gate Gate::ctrl_v(std::size_t target, std::size_t control) {
+  QSYN_CHECK(target != control, "controlled-V needs distinct wires");
+  return Gate(GateKind::kCtrlV, target, control);
+}
+
+Gate Gate::ctrl_v_dagger(std::size_t target, std::size_t control) {
+  QSYN_CHECK(target != control, "controlled-V+ needs distinct wires");
+  return Gate(GateKind::kCtrlVdag, target, control);
+}
+
+Gate Gate::feynman(std::size_t target, std::size_t control) {
+  QSYN_CHECK(target != control, "Feynman needs distinct wires");
+  return Gate(GateKind::kFeynman, target, control);
+}
+
+Gate Gate::not_gate(std::size_t target) {
+  return Gate(GateKind::kNot, target, target);
+}
+
+Gate Gate::parse(const std::string& raw) {
+  const std::string name{qsyn::trim(raw)};
+  if (name.size() < 2) throw qsyn::ParseError("gate name too short: " + raw);
+  GateKind kind;
+  std::size_t wire_pos = 1;
+  switch (name[0]) {
+    case 'V':
+    case 'v':
+      if (name[1] == '+') {
+        kind = GateKind::kCtrlVdag;
+        wire_pos = 2;
+      } else {
+        kind = GateKind::kCtrlV;
+      }
+      break;
+    case 'F':
+    case 'f':
+      kind = GateKind::kFeynman;
+      // Accept both "FCA" and the paper's occasional "FeCA" spelling.
+      if (name.size() >= 2 && name[1] == 'e') wire_pos = 2;
+      break;
+    case 'N':
+    case 'n':
+      kind = GateKind::kNot;
+      break;
+    default:
+      throw qsyn::ParseError("unknown gate kind in name: " + raw);
+  }
+  if (kind == GateKind::kNot) {
+    if (name.size() != 2) throw qsyn::ParseError("bad NOT gate name: " + raw);
+    return not_gate(wire_from_letter(name[1]));
+  }
+  if (name.size() != wire_pos + 2) {
+    throw qsyn::ParseError("bad two-qubit gate name: " + raw);
+  }
+  const std::size_t target = wire_from_letter(name[wire_pos]);
+  const std::size_t control = wire_from_letter(name[wire_pos + 1]);
+  if (target == control) {
+    throw qsyn::ParseError("gate wires must differ: " + raw);
+  }
+  switch (kind) {
+    case GateKind::kCtrlV:
+      return ctrl_v(target, control);
+    case GateKind::kCtrlVdag:
+      return ctrl_v_dagger(target, control);
+    default:
+      return feynman(target, control);
+  }
+}
+
+std::size_t Gate::control() const {
+  QSYN_CHECK(has_control(), "NOT gates have no control wire");
+  return control_;
+}
+
+std::string Gate::name() const {
+  switch (kind_) {
+    case GateKind::kCtrlV:
+      return std::string("V") + wire_letter(target_) + wire_letter(control_);
+    case GateKind::kCtrlVdag:
+      return std::string("V+") + wire_letter(target_) + wire_letter(control_);
+    case GateKind::kFeynman:
+      return std::string("F") + wire_letter(target_) + wire_letter(control_);
+    case GateKind::kNot:
+      return std::string("N") + wire_letter(target_);
+  }
+  throw qsyn::LogicError("name: invalid GateKind");
+}
+
+Gate Gate::adjoint() const {
+  switch (kind_) {
+    case GateKind::kCtrlV:
+      return ctrl_v_dagger(target_, control_);
+    case GateKind::kCtrlVdag:
+      return ctrl_v(target_, control_);
+    case GateKind::kFeynman:
+    case GateKind::kNot:
+      return *this;
+  }
+  throw qsyn::LogicError("adjoint: invalid GateKind");
+}
+
+mvl::Pattern Gate::apply(const mvl::Pattern& input) const {
+  QSYN_CHECK(target_ < input.wires() &&
+                 (!has_control() || control_ < input.wires()),
+             "gate wires exceed pattern wires");
+  mvl::Pattern out = input;
+  switch (kind_) {
+    case GateKind::kCtrlV:
+      if (input.get(control_) == mvl::Quat::kOne) {
+        out.set(target_, mvl::apply_v(input.get(target_)));
+      }
+      break;
+    case GateKind::kCtrlVdag:
+      if (input.get(control_) == mvl::Quat::kOne) {
+        out.set(target_, mvl::apply_v_dagger(input.get(target_)));
+      }
+      break;
+    case GateKind::kFeynman:
+      if (mvl::is_binary(input.get(target_)) &&
+          mvl::is_binary(input.get(control_))) {
+        out.set(target_,
+                mvl::binary_xor(input.get(target_), input.get(control_)));
+      }
+      break;
+    case GateKind::kNot:
+      out.set(target_, mvl::apply_not(input.get(target_)));
+      break;
+  }
+  return out;
+}
+
+perm::Permutation Gate::to_permutation(
+    const mvl::PatternDomain& domain) const {
+  std::vector<std::uint32_t> images(domain.size());
+  for (std::uint32_t label = 1; label <= domain.size(); ++label) {
+    images[label - 1] = domain.label_of(apply(domain.pattern(label)));
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+std::optional<mvl::BannedClass> Gate::banned_class(
+    const mvl::PatternDomain& domain) const {
+  switch (kind_) {
+    case GateKind::kCtrlV:
+    case GateKind::kCtrlVdag:
+      return domain.control_class(control_);
+    case GateKind::kFeynman:
+      return domain.feynman_class(target_, control_);
+    case GateKind::kNot:
+      return std::nullopt;
+  }
+  throw qsyn::LogicError("banned_class: invalid GateKind");
+}
+
+char wire_letter(std::size_t wire) {
+  QSYN_CHECK(wire < 26, "wire index too large for a letter name");
+  return static_cast<char>('A' + wire);
+}
+
+std::size_t wire_from_letter(char letter) {
+  if (letter >= 'A' && letter <= 'Z') {
+    return static_cast<std::size_t>(letter - 'A');
+  }
+  if (letter >= 'a' && letter <= 'z') {
+    return static_cast<std::size_t>(letter - 'a');
+  }
+  throw qsyn::ParseError(std::string("bad wire letter: '") + letter + "'");
+}
+
+}  // namespace qsyn::gates

@@ -1,0 +1,125 @@
+// qsyn/gates/gate.h
+//
+// The elementary gate set of the paper (Figure 1) in symbolic form:
+//
+//   * controlled-V   (2-qubit; applies the square-root-of-NOT to the data
+//                     wire when the control wire is 1)
+//   * controlled-V+  (2-qubit; Hermitian adjoint of controlled-V)
+//   * Feynman / CNOT (2-qubit; data wire ^= control wire)
+//   * NOT            (1-qubit inverter; quantum cost 0 in the paper's model)
+//
+// Naming follows the paper: a two-qubit gate's name is the kind letter
+// followed by <data wire><control wire>, wires named A, B, C, ... So V_BA
+// ("VBA") applies V to wire B under control A; F_CA xors wire A into wire C.
+//
+// Multi-valued semantics (the paper's don't-care closure): a controlled gate
+// acts only when its control is exactly 1 — a mixed control (V0/V1) leaves
+// the pattern unchanged; a Feynman gate acts only when both wires are binary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mvl/domain.h"
+#include "mvl/pattern.h"
+#include "perm/permutation.h"
+
+namespace qsyn::gates {
+
+enum class GateKind : std::uint8_t {
+  kCtrlV,      // controlled square-root-of-NOT
+  kCtrlVdag,   // controlled V+ (Hermitian adjoint)
+  kFeynman,    // CNOT
+  kNot,        // 1-qubit inverter
+};
+
+[[nodiscard]] std::string to_string(GateKind kind);
+
+/// Quantum cost assignment. The paper's model charges 1 per 2-qubit gate and
+/// 0 per NOT; the NMR-style variant demonstrates the paper's claim that the
+/// method "can be adapted to any particular numerical values of costs".
+struct CostModel {
+  unsigned ctrl_v = 1;
+  unsigned ctrl_v_dagger = 1;
+  unsigned feynman = 1;
+  unsigned not_gate = 0;
+
+  /// The paper's default: every 2-qubit gate costs 1, NOT costs 0.
+  static CostModel unit();
+
+  /// A non-uniform illustrative model in the spirit of the NMR pulse costs
+  /// of [Lee et al. 2004] (CNOT cheaper than controlled-V).
+  static CostModel nmr_like();
+
+  [[nodiscard]] unsigned cost_of(GateKind kind) const;
+};
+
+/// One placed elementary gate on an n-wire circuit.
+class Gate {
+ public:
+  /// Two-qubit gates take (kind, data/target wire, control wire); NOT takes
+  /// (kNot, wire). Wires are 0-based (wire 0 = qubit A).
+  static Gate ctrl_v(std::size_t target, std::size_t control);
+  static Gate ctrl_v_dagger(std::size_t target, std::size_t control);
+  static Gate feynman(std::size_t target, std::size_t control);
+  static Gate not_gate(std::size_t target);
+
+  /// Parses a paper-style name such as "VBA", "V+AB", "FCA", or "NA".
+  /// Throws qsyn::ParseError on malformed names.
+  static Gate parse(const std::string& name);
+
+  [[nodiscard]] GateKind kind() const { return kind_; }
+  [[nodiscard]] std::size_t target() const { return target_; }
+  /// Control wire; throws for NOT gates (which have none).
+  [[nodiscard]] std::size_t control() const;
+  [[nodiscard]] bool has_control() const { return kind_ != GateKind::kNot; }
+
+  /// Paper-style name: "VBA", "V+AB", "FCA", "NA".
+  [[nodiscard]] std::string name() const;
+
+  /// The Hermitian adjoint gate (V <-> V+; Feynman and NOT are self-adjoint).
+  [[nodiscard]] Gate adjoint() const;
+
+  /// Multi-valued action on one pattern (see file comment for the don't-care
+  /// rules). The pattern must have enough wires.
+  [[nodiscard]] mvl::Pattern apply(const mvl::Pattern& input) const;
+
+  /// The gate as a permutation of domain labels (1-based), the paper's
+  /// representation (e.g. V_BA = (5,17,7,21)(6,18,8,22)(13,19,15,23)
+  /// (14,20,16,24) on the reduced 3-wire domain).
+  [[nodiscard]] perm::Permutation to_permutation(
+      const mvl::PatternDomain& domain) const;
+
+  /// The banned-set class governing when this gate may be cascaded
+  /// (control class of the control wire for V/V+, Feynman class of the wire
+  /// pair for CNOT). NOT gates have no constraint -> nullopt.
+  [[nodiscard]] std::optional<mvl::BannedClass> banned_class(
+      const mvl::PatternDomain& domain) const;
+
+  [[nodiscard]] unsigned cost(const CostModel& model) const {
+    return model.cost_of(kind_);
+  }
+
+  friend bool operator==(const Gate& a, const Gate& b) {
+    return a.kind_ == b.kind_ && a.target_ == b.target_ &&
+           a.control_ == b.control_;
+  }
+  friend bool operator!=(const Gate& a, const Gate& b) { return !(a == b); }
+
+ private:
+  Gate(GateKind kind, std::size_t target, std::size_t control)
+      : kind_(kind), target_(target), control_(control) {}
+
+  GateKind kind_;
+  std::size_t target_;
+  std::size_t control_;  // == target_ for NOT (unused)
+};
+
+/// Wire name used in gate names and diagrams: 0 -> 'A', 1 -> 'B', ...
+[[nodiscard]] char wire_letter(std::size_t wire);
+
+/// Inverse of wire_letter; throws qsyn::ParseError for non-letters.
+[[nodiscard]] std::size_t wire_from_letter(char letter);
+
+}  // namespace qsyn::gates

@@ -1,0 +1,108 @@
+#include "gates/library.h"
+
+#include "common/error.h"
+
+namespace qsyn::gates {
+
+GateLibrary::GateLibrary(const mvl::PatternDomain& domain) : domain_(&domain) {
+  const std::size_t n = domain.wires();
+  QSYN_CHECK(n >= 2, "the gate library needs at least two wires");
+  // Paper order: the controlled classes L_A, L_B, L_C, ... then the Feynman
+  // classes L_AB, L_AC, L_BC, ...
+  for (std::size_t control = 0; control < n; ++control) {
+    for (std::size_t target = 0; target < n; ++target) {
+      if (target == control) continue;
+      gates_.push_back(Gate::ctrl_v(target, control));
+      gates_.push_back(Gate::ctrl_v_dagger(target, control));
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      gates_.push_back(Gate::feynman(a, b));
+      gates_.push_back(Gate::feynman(b, a));
+    }
+  }
+  perms_.reserve(gates_.size());
+  classes_.reserve(gates_.size());
+  for (const Gate& g : gates_) {
+    perms_.push_back(g.to_permutation(domain));
+    const auto klass = g.banned_class(domain);
+    QSYN_CHECK(klass.has_value(), "library gates always have a banned class");
+    classes_.push_back(*klass);
+  }
+}
+
+const Gate& GateLibrary::gate(std::size_t index) const {
+  QSYN_CHECK(index < gates_.size(), "gate index out of range");
+  return gates_[index];
+}
+
+const perm::Permutation& GateLibrary::permutation(std::size_t index) const {
+  QSYN_CHECK(index < perms_.size(), "gate index out of range");
+  return perms_[index];
+}
+
+mvl::BannedClass GateLibrary::banned_class_of(std::size_t index) const {
+  QSYN_CHECK(index < classes_.size(), "gate index out of range");
+  return classes_[index];
+}
+
+std::size_t GateLibrary::index_of(const std::string& name) const {
+  const Gate wanted = Gate::parse(name);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i] == wanted) return i;
+  }
+  throw qsyn::LogicError("gate not in library: " + name);
+}
+
+std::vector<std::size_t> GateLibrary::control_subset(std::size_t wire) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if ((g.kind() == GateKind::kCtrlV || g.kind() == GateKind::kCtrlVdag) &&
+        g.control() == wire) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> GateLibrary::feynman_subset(std::size_t a,
+                                                     std::size_t b) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind() == GateKind::kFeynman &&
+        ((g.target() == a && g.control() == b) ||
+         (g.target() == b && g.control() == a))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> GateLibrary::feynman_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind() == GateKind::kFeynman) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> GateLibrary::controlled_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind() != GateKind::kFeynman) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t GateLibrary::adjoint_index(std::size_t index) const {
+  const Gate adj = gate(index).adjoint();
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i] == adj) return i;
+  }
+  throw qsyn::LogicError("adjoint gate missing from library");
+}
+
+}  // namespace qsyn::gates

@@ -1,0 +1,65 @@
+// qsyn/gates/library.h
+//
+// The paper's quantum gate library L for n wires: every controlled-V,
+// controlled-V+ and Feynman gate over ordered wire pairs — 3·n·(n-1) gates,
+// 18 for the 3-qubit case — grouped into the banned-set classes
+// L_A, L_B, L_C (controlled gates by control wire) and L_AB, L_AC, L_BC
+// (Feynman gates by wire pair). NOT gates are *not* in L; the paper handles
+// them separately through the coset decomposition of Theorem 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/gate.h"
+#include "mvl/domain.h"
+#include "perm/permutation.h"
+
+namespace qsyn::gates {
+
+/// The library L plus cached per-gate permutations for one pattern domain.
+class GateLibrary {
+ public:
+  /// Builds L for `domain.wires()` wires and caches each gate's permutation
+  /// of the domain labels and its banned class.
+  explicit GateLibrary(const mvl::PatternDomain& domain);
+
+  [[nodiscard]] const mvl::PatternDomain& domain() const { return *domain_; }
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+
+  [[nodiscard]] const Gate& gate(std::size_t index) const;
+  [[nodiscard]] const perm::Permutation& permutation(std::size_t index) const;
+  [[nodiscard]] mvl::BannedClass banned_class_of(std::size_t index) const;
+
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Index of the gate with the given paper-style name; throws if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// The controlled-gate class L_w (paper's L_A, L_B, L_C): indices of the
+  /// 2(n-1) controlled-V/V+ gates whose control is `wire`.
+  [[nodiscard]] std::vector<std::size_t> control_subset(
+      std::size_t wire) const;
+
+  /// The Feynman class L_{ab}: indices of the two CNOTs on the pair {a, b}.
+  [[nodiscard]] std::vector<std::size_t> feynman_subset(std::size_t a,
+                                                        std::size_t b) const;
+
+  /// Indices of all Feynman gates.
+  [[nodiscard]] std::vector<std::size_t> feynman_indices() const;
+
+  /// Indices of all controlled-V / controlled-V+ gates.
+  [[nodiscard]] std::vector<std::size_t> controlled_indices() const;
+
+  /// Index of the adjoint gate of gate `index` (an involution on L).
+  [[nodiscard]] std::size_t adjoint_index(std::size_t index) const;
+
+ private:
+  const mvl::PatternDomain* domain_;  // non-owning; domains outlive libraries
+  std::vector<Gate> gates_;
+  std::vector<perm::Permutation> perms_;
+  std::vector<mvl::BannedClass> classes_;
+};
+
+}  // namespace qsyn::gates

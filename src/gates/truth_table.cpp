@@ -1,0 +1,82 @@
+#include "gates/truth_table.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qsyn::gates {
+
+namespace {
+
+TruthTable table_from_apply(const mvl::PatternDomain& domain,
+                            const std::function<mvl::Pattern(
+                                const mvl::Pattern&)>& apply_fn) {
+  TruthTable table;
+  table.rows.reserve(domain.size());
+  for (std::uint32_t label = 1; label <= domain.size(); ++label) {
+    TruthTableRow row{label, domain.pattern(label),
+                      apply_fn(domain.pattern(label)), 0};
+    row.output_label = domain.label_of(row.output);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string TruthTable::to_text() const {
+  QSYN_CHECK(!rows.empty(), "cannot render an empty truth table");
+  const std::size_t wires = rows.front().input.wires();
+  std::ostringstream os;
+  // Header: input wires named A,B,C..., output wires named P,Q,R...
+  os << qsyn::pad_left("#", 4) << " |";
+  for (std::size_t w = 0; w < wires; ++w) {
+    os << qsyn::pad_left(std::string(1, wire_letter(w)), 4);
+  }
+  os << " |";
+  for (std::size_t w = 0; w < wires; ++w) {
+    os << qsyn::pad_left(std::string(1, static_cast<char>('P' + w)), 4);
+  }
+  os << " | " << qsyn::pad_left("#", 4) << "\n";
+  os << std::string(4, '-') << "-+" << std::string(4 * wires, '-') << "-+"
+     << std::string(4 * wires, '-') << "-+-" << std::string(4, '-') << "\n";
+  for (const TruthTableRow& row : rows) {
+    os << qsyn::pad_left(std::to_string(row.input_label), 4) << " |";
+    for (std::size_t w = 0; w < wires; ++w) {
+      os << qsyn::pad_left(mvl::to_string(row.input.get(w)), 4);
+    }
+    os << " |";
+    for (std::size_t w = 0; w < wires; ++w) {
+      os << qsyn::pad_left(mvl::to_string(row.output.get(w)), 4);
+    }
+    os << " | " << qsyn::pad_left(std::to_string(row.output_label), 4) << "\n";
+  }
+  return os.str();
+}
+
+perm::Permutation TruthTable::to_permutation() const {
+  std::vector<std::uint32_t> images(rows.size());
+  for (const TruthTableRow& row : rows) {
+    QSYN_CHECK(row.input_label >= 1 && row.input_label <= rows.size(),
+               "truth table labels out of range");
+    images[row.input_label - 1] = row.output_label;
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+TruthTable make_truth_table(const Gate& gate,
+                            const mvl::PatternDomain& domain) {
+  return table_from_apply(
+      domain, [&gate](const mvl::Pattern& p) { return gate.apply(p); });
+}
+
+TruthTable make_truth_table(const Cascade& cascade,
+                            const mvl::PatternDomain& domain) {
+  return table_from_apply(domain, [&cascade](const mvl::Pattern& p) {
+    return cascade.apply(p);
+  });
+}
+
+}  // namespace qsyn::gates

@@ -1,0 +1,46 @@
+// qsyn/gates/truth_table.h
+//
+// Multi-valued truth tables of gates and cascades over a pattern domain —
+// the representation behind the paper's Table 1 (the 16-row table of the
+// 2-qubit controlled-V gate) and the 38-row 3-qubit tables of Section 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/cascade.h"
+#include "gates/gate.h"
+#include "mvl/domain.h"
+
+namespace qsyn::gates {
+
+/// One row: input label/pattern and output label/pattern.
+struct TruthTableRow {
+  std::uint32_t input_label = 0;   // 1-based
+  mvl::Pattern input;
+  mvl::Pattern output;
+  std::uint32_t output_label = 0;  // 1-based
+};
+
+/// A full multi-valued truth table over a domain.
+struct TruthTable {
+  std::vector<TruthTableRow> rows;
+
+  /// Renders the table in the paper's layout: Label | inputs | outputs |
+  /// Label, with one column per wire named A, B, C, ... / P, Q, R, ...
+  [[nodiscard]] std::string to_text() const;
+
+  /// The output-label column as a permutation of {1..rows}.
+  [[nodiscard]] perm::Permutation to_permutation() const;
+};
+
+/// Truth table of a single gate over `domain`.
+[[nodiscard]] TruthTable make_truth_table(const Gate& gate,
+                                          const mvl::PatternDomain& domain);
+
+/// Truth table of a cascade over `domain`.
+[[nodiscard]] TruthTable make_truth_table(const Cascade& cascade,
+                                          const mvl::PatternDomain& domain);
+
+}  // namespace qsyn::gates

@@ -1,0 +1,65 @@
+#include "la/gate_constants.h"
+
+#include <cmath>
+
+namespace qsyn::la {
+
+namespace {
+const Complex kHalfPlus(0.5, 0.5);    // 0.5 + 0.5i
+const Complex kHalfMinus(0.5, -0.5);  // 0.5 - 0.5i
+}  // namespace
+
+const Matrix& mat_i2() {
+  static const Matrix m = Matrix::identity(2);
+  return m;
+}
+
+const Matrix& mat_x() {
+  static const Matrix m{{0.0, 1.0}, {1.0, 0.0}};
+  return m;
+}
+
+const Matrix& mat_v() {
+  static const Matrix m{{kHalfPlus, kHalfMinus}, {kHalfMinus, kHalfPlus}};
+  return m;
+}
+
+const Matrix& mat_v_dagger() {
+  static const Matrix m{{kHalfMinus, kHalfPlus}, {kHalfPlus, kHalfMinus}};
+  return m;
+}
+
+const Matrix& mat_h() {
+  static const double s = 1.0 / std::sqrt(2.0);
+  static const Matrix m{{s, s}, {s, -s}};
+  return m;
+}
+
+const Matrix& mat_z() {
+  static const Matrix m{{1.0, 0.0}, {0.0, -1.0}};
+  return m;
+}
+
+const Vector& state_0() {
+  static const Vector v{1.0, 0.0};
+  return v;
+}
+
+const Vector& state_1() {
+  static const Vector v{0.0, 1.0};
+  return v;
+}
+
+const Vector& state_v0() {
+  // V |0> = (0.5+0.5i, 0.5-0.5i)^T, exactly the paper's first column of V.
+  static const Vector v{kHalfPlus, kHalfMinus};
+  return v;
+}
+
+const Vector& state_v1() {
+  // V |1> = (0.5-0.5i, 0.5+0.5i)^T.
+  static const Vector v{kHalfMinus, kHalfPlus};
+  return v;
+}
+
+}  // namespace qsyn::la

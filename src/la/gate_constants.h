@@ -1,0 +1,44 @@
+// qsyn/la/gate_constants.h
+//
+// The 2x2 unitaries from Figure 1 of the paper and a few standard companions.
+//
+//   V  = 1/2 [[1+i, 1-i], [1-i, 1+i]]   (controlled-V's data action)
+//   V+ = 1/2 [[1-i, 1+i], [1+i, 1-i]]   (Hermitian adjoint of V)
+//
+// with the defining identities V*V = V+*V+ = NOT and V*V+ = V+*V = I.
+#pragma once
+
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace qsyn::la {
+
+/// 2x2 identity.
+const Matrix& mat_i2();
+
+/// Pauli-X / NOT.
+const Matrix& mat_x();
+
+/// Square root of NOT, exactly as printed in the paper.
+const Matrix& mat_v();
+
+/// Hermitian adjoint of V (the paper's V+).
+const Matrix& mat_v_dagger();
+
+/// Hadamard (used by simulator tests, not by the paper's library).
+const Matrix& mat_h();
+
+/// Pauli-Z (simulator tests).
+const Matrix& mat_z();
+
+/// Single-qubit state |0> evolved through V: the "V0" signal value.
+const Vector& state_v0();
+
+/// Single-qubit state |1> evolved through V: the "V1" signal value.
+const Vector& state_v1();
+
+/// Computational basis states |0>, |1>.
+const Vector& state_0();
+const Vector& state_1();
+
+}  // namespace qsyn::la

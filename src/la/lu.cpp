@@ -1,0 +1,107 @@
+#include "la/lu.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qsyn::la {
+
+LuDecomposition::LuDecomposition(const Matrix& m) : lu_(m) {
+  QSYN_CHECK(m.is_square(), "LU decomposition requires a square matrix");
+  const std::size_t n = m.rows();
+  pivots_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pivots_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude entry on/below the diagonal.
+    std::size_t pivot_row = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(col, c), lu_(pivot_row, c));
+      }
+      std::swap(pivots_[col], pivots_[pivot_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const Complex pivot = lu_(col, col);
+    if (std::abs(pivot) < 1e-300) continue;  // singular column; leave zeros
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Complex factor = lu_(r, col) / pivot;
+      lu_(r, col) = factor;
+      if (factor == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+bool LuDecomposition::is_singular(double tol) const {
+  for (std::size_t i = 0; i < lu_.rows(); ++i) {
+    if (std::abs(lu_(i, i)) < tol) return true;
+  }
+  return false;
+}
+
+Complex LuDecomposition::determinant() const {
+  Complex det(static_cast<double>(pivot_sign_), 0.0);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  QSYN_CHECK(!is_singular(), "LU solve on a singular matrix");
+  QSYN_CHECK(b.size() == lu_.rows(), "LU solve size mismatch");
+  const std::size_t n = lu_.rows();
+  // Apply row permutation, then forward substitution (L, unit diagonal).
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex sum = b[pivots_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * y[j];
+    y[i] = sum;
+  }
+  // Backward substitution (U).
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    Complex sum = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  QSYN_CHECK(b.rows() == lu_.rows(), "LU solve size mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col(b.rows());
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+Complex determinant(const Matrix& m) {
+  return LuDecomposition(m).determinant();
+}
+
+Matrix inverse(const Matrix& m) { return LuDecomposition(m).inverse(); }
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace qsyn::la

@@ -1,0 +1,54 @@
+// qsyn/la/lu.h
+//
+// LU decomposition with partial pivoting for complex dense matrices, plus the
+// derived operations qsyn needs: determinant, inverse, and linear solves.
+// The automata module uses solves to compute exact stationary distributions
+// of the Markov chains induced by quantum automata (Figure 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace qsyn::la {
+
+/// PA = LU factorization (partial pivoting). L has an implicit unit diagonal
+/// and is stored with U inside a single packed matrix.
+class LuDecomposition {
+ public:
+  /// Factors `m` (must be square). Singular matrices are detected lazily:
+  /// is_singular() reports a (numerically) zero pivot.
+  explicit LuDecomposition(const Matrix& m);
+
+  [[nodiscard]] bool is_singular(double tol = 1e-12) const;
+
+  /// det(A); 0 if singular.
+  [[nodiscard]] Complex determinant() const;
+
+  /// Solves A x = b. Throws qsyn::LogicError when singular.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column by column. Throws when singular.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// A^{-1}. Throws when singular.
+  [[nodiscard]] Matrix inverse() const;
+
+  [[nodiscard]] const std::vector<std::size_t>& pivots() const {
+    return pivots_;
+  }
+
+ private:
+  Matrix lu_;                          // packed L (unit diag) and U
+  std::vector<std::size_t> pivots_;    // row i of LU came from row pivots_[i]
+  int pivot_sign_ = 1;                 // parity of the row permutation
+};
+
+/// Convenience wrappers.
+Complex determinant(const Matrix& m);
+Matrix inverse(const Matrix& m);
+Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace qsyn::la

@@ -1,0 +1,144 @@
+// qsyn/la/matrix.h
+//
+// Dense complex matrices, written from scratch as the numerical substrate of
+// qsyn (no external dependency such as Eigen is assumed to exist). The sizes
+// in this project are tiny (2x2 .. 64x64 unitaries, small stochastic
+// matrices), so the design optimizes for clarity and exact semantics rather
+// than BLAS-grade throughput: row-major contiguous storage, value semantics,
+// and checked indexing.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qsyn::la {
+
+using Complex = std::complex<double>;
+
+/// Default absolute tolerance for floating-point comparisons of matrix
+/// entries. All gate algebra in this project is exact over {0, +-1/2, +-i/2,
+/// 1/sqrt(2), ...}, so deviations are pure rounding noise.
+inline constexpr double kDefaultTolerance = 1e-9;
+
+/// A dense, row-major complex matrix with value semantics.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// rows x cols of zeros.
+  static Matrix zero(std::size_t rows, std::size_t cols);
+
+  /// Diagonal matrix from the given entries.
+  static Matrix diagonal(const std::vector<Complex>& entries);
+
+  /// Permutation matrix P with P[perm[j], j] = 1: maps basis vector e_j to
+  /// e_perm[j] (column-convention; P * e_j = e_perm[j]).
+  static Matrix permutation(const std::vector<std::size_t>& perm);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool is_square() const { return rows_ == cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Checked element access.
+  Complex& at(std::size_t r, std::size_t c);
+  [[nodiscard]] const Complex& at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked element access for hot paths.
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const Complex& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<Complex>& data() const { return data_; }
+
+  // --- arithmetic -----------------------------------------------------------
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(Complex scalar);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, Complex scalar) { return lhs *= scalar; }
+  friend Matrix operator*(Complex scalar, Matrix rhs) { return rhs *= scalar; }
+
+  /// Matrix product (dimensions must agree).
+  friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+  /// Elementwise equality within absolute tolerance `tol`.
+  [[nodiscard]] bool approx_equal(const Matrix& other,
+                                  double tol = kDefaultTolerance) const;
+
+  /// True iff `other` equals this matrix times a unit-modulus scalar
+  /// (quantum circuits are only defined up to global phase).
+  [[nodiscard]] bool equal_up_to_phase(const Matrix& other,
+                                       double tol = kDefaultTolerance) const;
+
+  // --- structure ------------------------------------------------------------
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix conjugate() const;
+  /// Conjugate transpose (Hermitian adjoint, the paper's "+" superscript).
+  [[nodiscard]] Matrix adjoint() const;
+
+  [[nodiscard]] Complex trace() const;
+  [[nodiscard]] double frobenius_norm() const;
+  /// Largest |entry| difference against `other` (matrices of equal shape).
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  /// Matrix power by repeated squaring; `exponent >= 0`, square matrix only.
+  [[nodiscard]] Matrix pow(std::size_t exponent) const;
+
+  /// Kronecker (tensor) product; this (x) rhs.
+  [[nodiscard]] Matrix kron(const Matrix& rhs) const;
+
+  /// Block-diagonal direct sum; this (+) rhs.
+  [[nodiscard]] Matrix direct_sum(const Matrix& rhs) const;
+
+  /// Contiguous sub-block of shape (height x width) starting at (r0, c0).
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t c0,
+                             std::size_t height, std::size_t width) const;
+
+  // --- predicates -----------------------------------------------------------
+  [[nodiscard]] bool is_identity(double tol = kDefaultTolerance) const;
+  /// U * U^dagger == I within tolerance.
+  [[nodiscard]] bool is_unitary(double tol = kDefaultTolerance) const;
+  [[nodiscard]] bool is_hermitian(double tol = kDefaultTolerance) const;
+  /// Exactly one 1 per row/column, all else 0 (within tolerance).
+  [[nodiscard]] bool is_permutation(double tol = kDefaultTolerance) const;
+  /// Like is_permutation but entries may be arbitrary unit-modulus phases.
+  [[nodiscard]] bool is_permutation_up_to_phases(
+      double tol = kDefaultTolerance) const;
+
+  /// If the matrix is a permutation matrix (optionally up to phases),
+  /// returns perm with column j mapping to row perm[j]. Throws otherwise.
+  [[nodiscard]] std::vector<std::size_t> extract_permutation(
+      bool allow_phases = false, double tol = kDefaultTolerance) const;
+
+  /// Multi-line human-readable rendering (fixed precision).
+  [[nodiscard]] std::string to_string(int precision = 3) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+}  // namespace qsyn::la

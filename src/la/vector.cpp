@@ -1,0 +1,131 @@
+#include "la/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace qsyn::la {
+
+Vector Vector::basis(std::size_t n, std::size_t index) {
+  QSYN_CHECK(index < n, "basis index out of range");
+  Vector v(n);
+  v[index] = Complex(1.0, 0.0);
+  return v;
+}
+
+Complex& Vector::at(std::size_t i) {
+  QSYN_CHECK(i < data_.size(), "Vector::at out of range");
+  return data_[i];
+}
+
+const Complex& Vector::at(std::size_t i) const {
+  QSYN_CHECK(i < data_.size(), "Vector::at out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  QSYN_CHECK(size() == rhs.size(), "Vector addition requires equal sizes");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  QSYN_CHECK(size() == rhs.size(), "Vector subtraction requires equal sizes");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(Complex scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Complex Vector::dot(const Vector& rhs) const {
+  QSYN_CHECK(size() == rhs.size(), "dot requires equal sizes");
+  Complex sum(0.0, 0.0);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sum += std::conj(data_[i]) * rhs.data_[i];
+  }
+  return sum;
+}
+
+double Vector::norm() const { return std::sqrt(norm_squared()); }
+
+double Vector::norm_squared() const {
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return sum;
+}
+
+void Vector::normalize() {
+  const double n = norm();
+  QSYN_CHECK(n > 1e-12, "cannot normalize a zero vector");
+  for (auto& v : data_) v /= n;
+}
+
+bool Vector::approx_equal(const Vector& other, double tol) const {
+  if (size() != other.size()) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool Vector::equal_up_to_phase(const Vector& other, double tol) const {
+  if (size() != other.size()) return false;
+  std::size_t ref = data_.size();
+  double best = tol;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i]) > best) {
+      best = std::abs(data_[i]);
+      ref = i;
+    }
+  }
+  if (ref == data_.size()) return other.norm() <= tol;
+  if (std::abs(other.data_[ref]) <= tol) return false;
+  const Complex phase = other.data_[ref] / data_[ref];
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] * phase - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Vector Vector::kron(const Vector& rhs) const {
+  Vector out(size() * rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < rhs.size(); ++j) {
+      out[i * rhs.size() + j] = data_[i] * rhs.data_[j];
+    }
+  }
+  return out;
+}
+
+std::string Vector::to_string(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << "[";
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << data_[i].real();
+    if (data_[i].imag() >= 0) os << "+";
+    os << data_[i].imag() << "i";
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator*(const Matrix& m, const Vector& v) {
+  QSYN_CHECK(m.cols() == v.size(), "matrix-vector size mismatch");
+  Vector out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t c = 0; c < m.cols(); ++c) sum += m(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+}  // namespace qsyn::la

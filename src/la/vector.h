@@ -1,0 +1,81 @@
+// qsyn/la/vector.h
+//
+// Dense complex vectors — companion to la::Matrix. Used for quantum state
+// vectors and for real-valued probability vectors (stored with zero imaginary
+// parts) in the automata module.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace qsyn::la {
+
+/// A dense complex column vector with value semantics.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n) : data_(n, Complex(0.0, 0.0)) {}
+  Vector(std::initializer_list<Complex> values) : data_(values) {}
+  explicit Vector(std::vector<Complex> values) : data_(std::move(values)) {}
+
+  /// Computational-basis vector e_index of dimension n.
+  static Vector basis(std::size_t n, std::size_t index);
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  Complex& at(std::size_t i);
+  [[nodiscard]] const Complex& at(std::size_t i) const;
+  Complex& operator[](std::size_t i) { return data_[i]; }
+  const Complex& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] const std::vector<Complex>& data() const { return data_; }
+  std::vector<Complex>& mutable_data() { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(Complex scalar);
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, Complex scalar) { return lhs *= scalar; }
+  friend Vector operator*(Complex scalar, Vector rhs) { return rhs *= scalar; }
+
+  /// Hermitian inner product <this|rhs> (conjugate-linear in *this*).
+  [[nodiscard]] Complex dot(const Vector& rhs) const;
+
+  /// Euclidean (L2) norm.
+  [[nodiscard]] double norm() const;
+
+  /// Sum of |amplitude|^2 — 1.0 for a normalized quantum state.
+  [[nodiscard]] double norm_squared() const;
+
+  /// Normalizes in place; throws on (numerically) zero vectors.
+  void normalize();
+
+  [[nodiscard]] bool approx_equal(const Vector& other,
+                                  double tol = kDefaultTolerance) const;
+
+  /// Equality up to a global unit-modulus phase factor.
+  [[nodiscard]] bool equal_up_to_phase(const Vector& other,
+                                       double tol = kDefaultTolerance) const;
+
+  /// Kronecker (tensor) product; this (x) rhs.
+  [[nodiscard]] Vector kron(const Vector& rhs) const;
+
+  [[nodiscard]] std::string to_string(int precision = 3) const;
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<Complex> data_;
+};
+
+/// Matrix-vector product (dimensions must agree).
+Vector operator*(const Matrix& m, const Vector& v);
+
+}  // namespace qsyn::la

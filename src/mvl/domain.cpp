@@ -1,0 +1,165 @@
+#include "mvl/domain.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qsyn::mvl {
+
+namespace {
+
+/// Bitmask of wires carrying a mixed value, wire 0 as the most significant
+/// bit (so masks order the way the paper prints Table 1's blocks).
+std::uint32_t mixed_mask(const Pattern& p) {
+  std::uint32_t mask = 0;
+  for (std::size_t w = 0; w < p.wires(); ++w) {
+    mask = (mask << 1) | (is_mixed(p.get(w)) ? 1u : 0u);
+  }
+  return mask;
+}
+
+}  // namespace
+
+PatternDomain::PatternDomain(std::size_t wires, std::vector<Pattern> patterns)
+    : wires_(wires), patterns_(std::move(patterns)) {
+  label_by_code_.assign(1u << (2 * wires_), 0);
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    label_by_code_[patterns_[i].code()] = static_cast<std::uint32_t>(i + 1);
+  }
+  banned_masks_.resize(patterns_.size());
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const Pattern& p = patterns_[i];
+    std::uint32_t mask = 0;
+    for (std::size_t w = 0; w < wires_; ++w) {
+      if (is_mixed(p.get(w))) mask |= 1u << control_class(w);
+    }
+    std::size_t pair_class = wires_;
+    for (std::size_t a = 0; a < wires_; ++a) {
+      for (std::size_t b = a + 1; b < wires_; ++b, ++pair_class) {
+        if (is_mixed(p.get(a)) || is_mixed(p.get(b))) {
+          mask |= 1u << pair_class;
+        }
+      }
+    }
+    banned_masks_[i] = mask;
+  }
+}
+
+PatternDomain PatternDomain::full(std::size_t wires) {
+  QSYN_CHECK(wires >= 1 && wires <= 8, "full domain supports 1..8 wires");
+  std::vector<Pattern> patterns;
+  patterns.reserve(1u << (2 * wires));
+  for (std::uint32_t code = 0; code < (1u << (2 * wires)); ++code) {
+    patterns.push_back(Pattern::from_code(wires, code));
+  }
+  std::stable_sort(patterns.begin(), patterns.end(),
+                   [](const Pattern& a, const Pattern& b) {
+                     const std::uint32_t ma = mixed_mask(a);
+                     const std::uint32_t mb = mixed_mask(b);
+                     if (ma != mb) return ma < mb;
+                     return a.code() < b.code();
+                   });
+  return PatternDomain(wires, std::move(patterns));
+}
+
+PatternDomain PatternDomain::reduced(std::size_t wires) {
+  QSYN_CHECK(wires >= 1 && wires <= 8, "reduced domain supports 1..8 wires");
+  std::vector<Pattern> binary;
+  std::vector<Pattern> mixed;
+  for (std::uint32_t code = 0; code < (1u << (2 * wires)); ++code) {
+    const Pattern p = Pattern::from_code(wires, code);
+    if (p.is_binary()) {
+      binary.push_back(p);  // includes the all-zero pattern (label 1)
+    } else if (p.contains_one()) {
+      mixed.push_back(p);
+    }
+    // Patterns with a mixed value but no 1 are unchangeable by every library
+    // gate; the paper drops them from the permutation domain.
+  }
+  // Codes ascend in the enumeration, so both halves are already sorted.
+  std::vector<Pattern> patterns = std::move(binary);
+  patterns.insert(patterns.end(), mixed.begin(), mixed.end());
+  return PatternDomain(wires, std::move(patterns));
+}
+
+const Pattern& PatternDomain::pattern(std::uint32_t label) const {
+  QSYN_CHECK(label >= 1 && label <= patterns_.size(),
+             "pattern label out of range");
+  return patterns_[label - 1];
+}
+
+std::uint32_t PatternDomain::label_of(const Pattern& p) const {
+  QSYN_CHECK(p.wires() == wires_, "pattern wire count mismatch");
+  const std::uint32_t label = label_by_code_[p.code()];
+  QSYN_CHECK(label != 0, "pattern not in domain: " + p.to_string());
+  return label;
+}
+
+bool PatternDomain::contains(const Pattern& p) const {
+  return p.wires() == wires_ && label_by_code_[p.code()] != 0;
+}
+
+std::vector<std::uint32_t> PatternDomain::s_set() const {
+  std::vector<std::uint32_t> s(binary_count());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<std::uint32_t>(i + 1);
+  }
+  return s;
+}
+
+BannedClass PatternDomain::control_class(std::size_t wire) const {
+  QSYN_CHECK(wire < wires_, "control_class wire out of range");
+  return static_cast<BannedClass>(wire);
+}
+
+BannedClass PatternDomain::feynman_class(std::size_t a, std::size_t b) const {
+  QSYN_CHECK(a < wires_ && b < wires_ && a != b,
+             "feynman_class requires two distinct wires");
+  if (a > b) std::swap(a, b);
+  // Pairs are numbered in lexicographic order after the wire classes.
+  std::size_t index = wires_;
+  for (std::size_t i = 0; i < wires_; ++i) {
+    for (std::size_t j = i + 1; j < wires_; ++j, ++index) {
+      if (i == a && j == b) return static_cast<BannedClass>(index);
+    }
+  }
+  throw qsyn::LogicError("feynman_class: unreachable");
+}
+
+std::size_t PatternDomain::num_classes() const {
+  return wires_ + wires_ * (wires_ - 1) / 2;
+}
+
+std::uint32_t PatternDomain::banned_mask(std::uint32_t label) const {
+  QSYN_CHECK(label >= 1 && label <= banned_masks_.size(),
+             "banned_mask label out of range");
+  return banned_masks_[label - 1];
+}
+
+std::vector<std::uint32_t> PatternDomain::banned_set(BannedClass c) const {
+  QSYN_CHECK(c < num_classes(), "banned class out of range");
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t label = 1; label <= patterns_.size(); ++label) {
+    if ((banned_masks_[label - 1] >> c & 1u) != 0) out.push_back(label);
+  }
+  return out;
+}
+
+std::string PatternDomain::class_name(BannedClass c) const {
+  QSYN_CHECK(c < num_classes(), "banned class out of range");
+  if (c < wires_) {
+    return std::string("N_") + static_cast<char>('A' + c);
+  }
+  std::size_t index = wires_;
+  for (std::size_t i = 0; i < wires_; ++i) {
+    for (std::size_t j = i + 1; j < wires_; ++j, ++index) {
+      if (index == c) {
+        return std::string("N_") + static_cast<char>('A' + i) +
+               static_cast<char>('A' + j);
+      }
+    }
+  }
+  throw qsyn::LogicError("class_name: unreachable");
+}
+
+}  // namespace qsyn::mvl

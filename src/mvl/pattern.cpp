@@ -1,0 +1,98 @@
+#include "mvl/pattern.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qsyn::mvl {
+
+Pattern::Pattern(std::size_t wires) : wires_(wires) {
+  QSYN_CHECK(wires >= 1 && wires <= kMaxWires, "unsupported wire count");
+}
+
+Pattern::Pattern(const std::vector<Quat>& values) : Pattern(values.size()) {
+  for (std::size_t i = 0; i < values.size(); ++i) set(i, values[i]);
+}
+
+Pattern Pattern::from_code(std::size_t wires, std::uint32_t code) {
+  Pattern p(wires);
+  QSYN_CHECK(code < (1u << (2 * wires)), "pattern code out of range");
+  p.code_ = code;
+  return p;
+}
+
+Pattern Pattern::from_binary(std::size_t wires, std::uint32_t bits) {
+  Pattern p(wires);
+  QSYN_CHECK(bits < (1u << wires), "binary value out of range");
+  for (std::size_t i = 0; i < wires; ++i) {
+    const bool bit = ((bits >> (wires - 1 - i)) & 1u) != 0;
+    p.set(i, bit ? Quat::kOne : Quat::kZero);
+  }
+  return p;
+}
+
+Pattern Pattern::parse(const std::string& text) {
+  const char sep = text.find(',') != std::string::npos ? ',' : ' ';
+  std::vector<Quat> values;
+  for (const std::string& piece : qsyn::split(text, sep)) {
+    if (piece.empty()) continue;
+    values.push_back(quat_from_string(piece));
+  }
+  QSYN_CHECK(!values.empty(), "empty pattern text");
+  return Pattern(values);
+}
+
+int Pattern::shift_for(std::size_t wire) const {
+  QSYN_CHECK(wire < wires_, "wire index out of range");
+  return static_cast<int>(2 * (wires_ - 1 - wire));
+}
+
+Quat Pattern::get(std::size_t wire) const {
+  return static_cast<Quat>((code_ >> shift_for(wire)) & 3u);
+}
+
+void Pattern::set(std::size_t wire, Quat value) {
+  const int shift = shift_for(wire);
+  code_ = (code_ & ~(3u << shift)) |
+          (static_cast<std::uint32_t>(value) << shift);
+}
+
+bool Pattern::is_binary() const {
+  for (std::size_t i = 0; i < wires_; ++i) {
+    if (!mvl::is_binary(get(i))) return false;
+  }
+  return true;
+}
+
+bool Pattern::contains_one() const {
+  for (std::size_t i = 0; i < wires_; ++i) {
+    if (get(i) == Quat::kOne) return true;
+  }
+  return false;
+}
+
+bool Pattern::contains_mixed() const {
+  for (std::size_t i = 0; i < wires_; ++i) {
+    if (mvl::is_mixed(get(i))) return true;
+  }
+  return false;
+}
+
+std::uint32_t Pattern::binary_value() const {
+  QSYN_CHECK(is_binary(), "binary_value requires a pure binary pattern");
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < wires_; ++i) {
+    bits = (bits << 1) | (get(i) == Quat::kOne ? 1u : 0u);
+  }
+  return bits;
+}
+
+std::string Pattern::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < wires_; ++i) {
+    if (i != 0) out += ',';
+    out += mvl::to_string(get(i));
+  }
+  return out;
+}
+
+}  // namespace qsyn::mvl

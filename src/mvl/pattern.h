@@ -1,0 +1,85 @@
+// qsyn/mvl/pattern.h
+//
+// A Pattern is an assignment of one quaternary value to each of n wires —
+// one row of the paper's multi-valued truth tables. Wire 0 is the paper's
+// qubit A (the most significant digit in the pattern ordering), wire 1 is B,
+// and so on.
+//
+// Patterns pack 2 bits per wire into a 32-bit code, supporting up to 16
+// wires; the code's numeric value is exactly the paper's "small to big"
+// ordering key (A*4^{n-1} + B*4^{n-2} + ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mvl/quat.h"
+
+namespace qsyn::mvl {
+
+/// Maximum number of wires a Pattern can hold.
+inline constexpr std::size_t kMaxWires = 16;
+
+/// A row of quaternary wire values on a fixed number of wires.
+class Pattern {
+ public:
+  /// All-zero pattern on `wires` wires.
+  explicit Pattern(std::size_t wires);
+
+  /// From explicit values; size gives the wire count.
+  explicit Pattern(const std::vector<Quat>& values);
+
+  /// From the packed base-4 code (wire 0 most significant).
+  static Pattern from_code(std::size_t wires, std::uint32_t code);
+
+  /// From a binary assignment given as a bitmask (bit wires-1-i ... ), i.e.
+  /// the integer whose base-2 digits are the wire values, wire 0 most
+  /// significant — "000" -> 0, "111" -> 7 for three wires.
+  static Pattern from_binary(std::size_t wires, std::uint32_t bits);
+
+  /// Parses a compact string like "1,V0,0" or "1 V0 0".
+  static Pattern parse(const std::string& text);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+
+  [[nodiscard]] Quat get(std::size_t wire) const;
+  void set(std::size_t wire, Quat value);
+
+  /// The base-4 ordering key; also a perfect hash of the pattern.
+  [[nodiscard]] std::uint32_t code() const { return code_; }
+
+  /// True iff every wire is 0 or 1.
+  [[nodiscard]] bool is_binary() const;
+
+  /// True iff some wire carries the value 1.
+  [[nodiscard]] bool contains_one() const;
+
+  /// True iff some wire carries V0 or V1.
+  [[nodiscard]] bool contains_mixed() const;
+
+  /// For an all-binary pattern: the integer with the wire values as base-2
+  /// digits (wire 0 most significant). Throws if the pattern is mixed.
+  [[nodiscard]] std::uint32_t binary_value() const;
+
+  /// Comma-separated values, e.g. "1,V0,0".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.wires_ == b.wires_ && a.code_ == b.code_;
+  }
+  friend bool operator!=(const Pattern& a, const Pattern& b) {
+    return !(a == b);
+  }
+  /// Orders by the paper's "small to big" key.
+  friend bool operator<(const Pattern& a, const Pattern& b) {
+    return a.code_ < b.code_;
+  }
+
+ private:
+  std::size_t wires_ = 0;
+  std::uint32_t code_ = 0;  // 2 bits per wire; wire 0 in the top-most digits
+  [[nodiscard]] int shift_for(std::size_t wire) const;
+};
+
+}  // namespace qsyn::mvl

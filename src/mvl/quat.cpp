@@ -1,0 +1,112 @@
+#include "mvl/quat.h"
+
+#include "common/error.h"
+#include "la/gate_constants.h"
+
+namespace qsyn::mvl {
+
+Quat apply_v(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return Quat::kV0;
+    case Quat::kOne:
+      return Quat::kV1;
+    case Quat::kV0:
+      return Quat::kOne;
+    case Quat::kV1:
+      return Quat::kZero;
+  }
+  throw qsyn::LogicError("apply_v: invalid Quat");
+}
+
+Quat apply_v_dagger(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return Quat::kV1;
+    case Quat::kOne:
+      return Quat::kV0;
+    case Quat::kV0:
+      return Quat::kZero;
+    case Quat::kV1:
+      return Quat::kOne;
+  }
+  throw qsyn::LogicError("apply_v_dagger: invalid Quat");
+}
+
+Quat apply_not(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return Quat::kOne;
+    case Quat::kOne:
+      return Quat::kZero;
+    case Quat::kV0:
+      return Quat::kV1;
+    case Quat::kV1:
+      return Quat::kV0;
+  }
+  throw qsyn::LogicError("apply_not: invalid Quat");
+}
+
+Quat binary_xor(Quat a, Quat b) {
+  QSYN_CHECK(is_binary(a) && is_binary(b),
+             "binary_xor requires pure binary operands");
+  return (a == b) ? Quat::kZero : Quat::kOne;
+}
+
+std::string to_string(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return "0";
+    case Quat::kOne:
+      return "1";
+    case Quat::kV0:
+      return "V0";
+    case Quat::kV1:
+      return "V1";
+  }
+  throw qsyn::LogicError("to_string: invalid Quat");
+}
+
+Quat quat_from_string(const std::string& name) {
+  if (name == "0") return Quat::kZero;
+  if (name == "1") return Quat::kOne;
+  if (name == "V0" || name == "v0") return Quat::kV0;
+  if (name == "V1" || name == "v1") return Quat::kV1;
+  throw qsyn::ParseError("unknown quaternary value: '" + name + "'");
+}
+
+const la::Vector& quat_state(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return la::state_0();
+    case Quat::kOne:
+      return la::state_1();
+    case Quat::kV0:
+      return la::state_v0();
+    case Quat::kV1:
+      return la::state_v1();
+  }
+  throw qsyn::LogicError("quat_state: invalid Quat");
+}
+
+double measure_one_probability(Quat q) {
+  switch (q) {
+    case Quat::kZero:
+      return 0.0;
+    case Quat::kOne:
+      return 1.0;
+    case Quat::kV0:
+    case Quat::kV1:
+      // |V0> = ((1+i)/2, (1-i)/2): |amp_1|^2 = 1/2, likewise for |V1>.
+      return 0.5;
+  }
+  throw qsyn::LogicError("measure_one_probability: invalid Quat");
+}
+
+Quat quat_from_index(int digit) {
+  QSYN_CHECK(digit >= 0 && digit < kNumQuatValues,
+             "quat_from_index digit out of range");
+  return static_cast<Quat>(digit);
+}
+
+}  // namespace qsyn::mvl

@@ -1,0 +1,83 @@
+// qsyn/mvl/quat.h
+//
+// The paper's four-valued signal algebra. Under the constraint that control
+// inputs stay pure binary, every wire in a reasonable cascade carries one of
+//
+//   0   = |0>
+//   1   = |1>
+//   V0  = V|0>  ( = V+|1> )
+//   V1  = V|1>  ( = V+|0> )
+//
+// and the elementary gates act by the value maps
+//
+//   V : 0 -> V0, 1 -> V1, V0 -> 1,  V1 -> 0     (so V∘V = NOT)
+//   V+: 0 -> V1, 1 -> V0, V0 -> 0,  V1 -> 1     (so V+∘V = id, V+∘V+ = NOT)
+//   X : 0 <-> 1, V0 <-> V1                      (NOT; X V = V X identities)
+//
+// This file defines the value type and its exact algebra; mvl/domain.h builds
+// the multi-wire pattern spaces on top of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la/vector.h"
+
+namespace qsyn::mvl {
+
+/// One quaternary signal value. The numeric encoding (0,1,2,3) fixes the
+/// pattern ordering used throughout, matching the paper's label tables.
+enum class Quat : std::uint8_t {
+  kZero = 0,
+  kOne = 1,
+  kV0 = 2,
+  kV1 = 3,
+};
+
+inline constexpr int kNumQuatValues = 4;
+
+/// True for the pure binary values 0 and 1.
+[[nodiscard]] constexpr bool is_binary(Quat q) {
+  return q == Quat::kZero || q == Quat::kOne;
+}
+
+/// True for the mixed (non-binary) values V0 and V1.
+[[nodiscard]] constexpr bool is_mixed(Quat q) { return !is_binary(q); }
+
+/// Applies the square-root-of-NOT value map.
+[[nodiscard]] Quat apply_v(Quat q);
+
+/// Applies the Hermitian-adjoint map V+.
+[[nodiscard]] Quat apply_v_dagger(Quat q);
+
+/// Applies NOT. Defined on all four values (V anti-commutes consistently:
+/// X·V0 is the state V1 up to global phase, so NOT swaps V0 <-> V1).
+[[nodiscard]] Quat apply_not(Quat q);
+
+/// XOR of two *binary* values; callers must check is_binary on both first
+/// (the banned-set machinery guarantees this in reasonable cascades).
+/// Throws qsyn::LogicError otherwise.
+[[nodiscard]] Quat binary_xor(Quat a, Quat b);
+
+/// Short name: "0", "1", "V0", "V1".
+[[nodiscard]] std::string to_string(Quat q);
+
+/// Inverse of to_string. Throws qsyn::ParseError on unknown names.
+[[nodiscard]] Quat quat_from_string(const std::string& name);
+
+/// The single-qubit state vector carried by a wire with this value.
+[[nodiscard]] const la::Vector& quat_state(Quat q);
+
+/// Probability that a quantum measurement of this value yields |1>:
+/// 0 -> 0, 1 -> 1, V0 -> 1/2, V1 -> 1/2.
+[[nodiscard]] double measure_one_probability(Quat q);
+
+/// Integer value 0..3 (the pattern-ordering digit).
+[[nodiscard]] constexpr int quat_index(Quat q) {
+  return static_cast<int>(q);
+}
+
+/// Inverse of quat_index; `digit` must be in 0..3.
+[[nodiscard]] Quat quat_from_index(int digit);
+
+}  // namespace qsyn::mvl

@@ -1,0 +1,54 @@
+#include "perm/cosets.h"
+
+#include "common/error.h"
+
+namespace qsyn::perm {
+
+bool same_left_coset(const Permutation& a, const Permutation& b,
+                     const PermGroup& group) {
+  return group.contains(a.inverse() * b);
+}
+
+bool in_left_coset(const Permutation& element, const Permutation& rep,
+                   const PermGroup& group) {
+  return group.contains(rep.inverse() * element);
+}
+
+bool cosets_partition_group(const std::vector<Permutation>& reps,
+                            const PermGroup& group, const PermGroup& parent) {
+  // Every representative must lie in the parent.
+  for (const auto& rep : reps) {
+    if (!parent.contains(rep)) return false;
+  }
+  // Pairwise disjoint: distinct reps must represent distinct cosets.
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    for (std::size_t j = i + 1; j < reps.size(); ++j) {
+      if (same_left_coset(reps[i], reps[j], group)) return false;
+    }
+  }
+  // The subgroup must sit inside the parent.
+  if (!parent.contains_group(group)) return false;
+  // Counting: |reps| * |group| must equal |parent| for a partition.
+  return reps.size() * group.order() == parent.order();
+}
+
+std::vector<Permutation> left_coset_representatives(const PermGroup& group,
+                                                    const PermGroup& parent,
+                                                    std::size_t limit) {
+  QSYN_CHECK(parent.contains_group(group),
+             "coset representatives require group <= parent");
+  std::vector<Permutation> reps;
+  for (const auto& element : parent.elements(limit)) {
+    bool found = false;
+    for (const auto& rep : reps) {
+      if (same_left_coset(rep, element, group)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) reps.push_back(element);
+  }
+  return reps;
+}
+
+}  // namespace qsyn::perm

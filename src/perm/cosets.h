@@ -1,0 +1,42 @@
+// qsyn/perm/cosets.h
+//
+// Left-coset utilities used to verify the paper's Theorem 2:
+//   H = ∪_{a∈N} a*G  with pairwise disjoint cosets,
+// where N is the group realized by NOT gates (order 2^n) and G the set of
+// circuits realized by controlled-V/V+/Feynman gates only.
+//
+// With the paper's composition convention (a*g = apply a then g), the left
+// coset of G by a is a*G = { a*g : g in G }, and b ∈ a*G iff a^{-1}*b ∈ G.
+#pragma once
+
+#include <vector>
+
+#include "perm/perm_group.h"
+#include "perm/permutation.h"
+
+namespace qsyn::perm {
+
+/// True iff a and b represent the same left coset of `group`.
+bool same_left_coset(const Permutation& a, const Permutation& b,
+                     const PermGroup& group);
+
+/// True iff element ∈ rep*group.
+bool in_left_coset(const Permutation& element, const Permutation& rep,
+                   const PermGroup& group);
+
+/// Verifies that {rep*group : rep in reps} partitions `parent`:
+///  * cosets are pairwise disjoint,
+///  * |reps| * |group| == |parent|,
+///  * every rep*generator stays inside parent.
+/// Returns false (rather than throwing) when any condition fails.
+bool cosets_partition_group(const std::vector<Permutation>& reps,
+                            const PermGroup& group, const PermGroup& parent);
+
+/// Distinct left-coset representatives of `group` inside `parent`
+/// (parent must be enumerable; intended for small degree-8 groups).
+std::vector<Permutation> left_coset_representatives(const PermGroup& group,
+                                                    const PermGroup& parent,
+                                                    std::size_t limit = 1u
+                                                                        << 20);
+
+}  // namespace qsyn::perm

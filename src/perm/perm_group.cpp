@@ -1,0 +1,253 @@
+#include "perm/perm_group.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+__extension__ typedef unsigned __int128 qsyn_u128;
+
+namespace qsyn::perm {
+
+// Implementation notes.
+//
+// We keep a base b_0, b_1, ... and one global strong generating set. The
+// generator set of level i is { strong generators fixing b_0 .. b_{i-1} }
+// (checked directly, so the sets are correctly nested), and the level-i
+// transversal is the orbit of b_i under that set. Construction runs the
+// classic Schreier-Sims fixpoint: test every Schreier generator of every
+// level, sift it through the deeper levels, and absorb any non-trivial
+// residual as a new strong generator until everything sifts to the identity.
+// Deterministic and comfortably fast for the degree <= 40 groups used here.
+
+PermGroup::PermGroup(std::size_t degree) : degree_(degree) {}
+
+PermGroup::PermGroup(const std::vector<Permutation>& generators) {
+  degree_ = 0;
+  for (const auto& g : generators) degree_ = std::max(degree_, g.degree());
+  for (const auto& g : generators) {
+    if (!g.is_identity()) generators_.push_back(g.extended_to(degree_));
+  }
+  for (const auto& g : generators_) insert_strong(g);
+  if (!levels_.empty()) schreier_sims(0);
+}
+
+PermGroup PermGroup::symmetric(std::size_t n) {
+  std::vector<Permutation> gens;
+  for (std::uint32_t i = 1; i + 1 <= n; ++i) {
+    gens.push_back(Permutation::transposition(n, i, i + 1));
+  }
+  if (gens.empty()) return PermGroup(n);
+  return PermGroup(gens);
+}
+
+PermGroup PermGroup::alternating(std::size_t n) {
+  std::vector<Permutation> gens;
+  for (std::uint32_t i = 1; i + 2 <= n; ++i) {
+    gens.push_back(
+        Permutation::from_cycles("(" + std::to_string(i) + "," +
+                                     std::to_string(i + 1) + "," +
+                                     std::to_string(i + 2) + ")",
+                                 n));
+  }
+  if (gens.empty()) return PermGroup(n);
+  return PermGroup(gens);
+}
+
+void PermGroup::rebuild_orbit(std::size_t level_index) {
+  Level& level = levels_[level_index];
+  // Level generators: every strong generator fixing all earlier base points.
+  level.gens.clear();
+  for (const Level& other : levels_) {
+    for (const Permutation& gen : other.gens_owned) {
+      bool fixes_prefix = true;
+      for (std::size_t j = 0; j < level_index && fixes_prefix; ++j) {
+        fixes_prefix = gen.apply(levels_[j].base_point) ==
+                       levels_[j].base_point;
+      }
+      if (fixes_prefix) level.gens.push_back(gen);
+    }
+  }
+  level.transversal.clear();
+  level.transversal.emplace(level.base_point, Permutation::identity(degree_));
+  std::vector<std::uint32_t> frontier = {level.base_point};
+  while (!frontier.empty()) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t point : frontier) {
+      const Permutation rep = level.transversal.at(point);
+      for (const Permutation& gen : level.gens) {
+        const std::uint32_t image = gen.apply(point);
+        if (level.transversal.find(image) == level.transversal.end()) {
+          level.transversal.emplace(image, rep * gen);
+          next.push_back(image);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+std::pair<Permutation, std::size_t> PermGroup::sift(Permutation g,
+                                                    std::size_t start) const {
+  for (std::size_t i = start; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    const std::uint32_t image = g.apply(level.base_point);
+    const auto it = level.transversal.find(image);
+    if (it == level.transversal.end()) return {std::move(g), i};
+    g = g * it->second.inverse();
+    if (g.is_identity()) return {std::move(g), levels_.size()};
+  }
+  return {std::move(g), levels_.size()};
+}
+
+void PermGroup::extend_base_for(const Permutation& g) {
+  for (const Level& level : levels_) {
+    if (g.apply(level.base_point) != level.base_point) return;
+  }
+  const auto support = g.support();
+  if (support.empty()) return;  // identity needs no base point
+  Level level;
+  level.base_point = support.front();
+  levels_.push_back(std::move(level));
+}
+
+void PermGroup::insert_strong(const Permutation& g) {
+  if (g.is_identity()) return;
+  extend_base_for(g);
+  std::size_t home = 0;
+  while (home < levels_.size() &&
+         g.apply(levels_[home].base_point) == levels_[home].base_point) {
+    ++home;
+  }
+  QSYN_CHECK(home < levels_.size(),
+             "non-identity generator must move some base point");
+  levels_[home].gens_owned.push_back(g);
+}
+
+void PermGroup::schreier_sims(std::size_t /*unused*/) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < levels_.size(); ++i) rebuild_orbit(i);
+    for (std::size_t i = levels_.size(); i > 0 && !changed; --i) {
+      const std::size_t li = i - 1;
+      const Level& level = levels_[li];
+      for (const auto& [point, rep] : level.transversal) {
+        for (const Permutation& gen : level.gens) {
+          const Permutation to_rep =
+              level.transversal.at(gen.apply(point)).inverse();
+          const Permutation schreier = rep * gen * to_rep;
+          if (schreier.is_identity()) continue;
+          auto [residual, stop] = sift(schreier, li + 1);
+          (void)stop;
+          if (residual.is_identity()) continue;
+          insert_strong(residual);
+          changed = true;
+          break;
+        }
+        if (changed) break;
+      }
+    }
+  }
+}
+
+std::uint64_t PermGroup::order() const {
+  qsyn_u128 total = 1;
+  for (const Level& level : levels_) {
+    total *= static_cast<qsyn_u128>(level.transversal.size());
+    QSYN_CHECK(total <= static_cast<qsyn_u128>(UINT64_MAX),
+               "group order exceeds 64 bits; use order_string()");
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+std::string PermGroup::order_string() const {
+  qsyn_u128 total = 1;
+  for (const Level& level : levels_) {
+    total *= static_cast<qsyn_u128>(level.transversal.size());
+  }
+  if (total == 0) return "0";
+  std::string out;
+  while (total > 0) {
+    out.insert(out.begin(),
+               static_cast<char>('0' + static_cast<int>(total % 10)));
+    total /= 10;
+  }
+  return out;
+}
+
+bool PermGroup::contains(const Permutation& g) const {
+  if (g.degree() > degree_) {
+    for (std::size_t s = degree_ + 1; s <= g.degree(); ++s) {
+      if (g.apply(static_cast<std::uint32_t>(s)) != s) return false;
+    }
+  }
+  auto [residual, level] =
+      sift(g.degree() <= degree_ ? g.extended_to(degree_) : g);
+  (void)level;
+  return residual.is_identity();
+}
+
+bool PermGroup::contains_group(const PermGroup& other) const {
+  for (const auto& g : other.generators()) {
+    if (!contains(g)) return false;
+  }
+  return true;
+}
+
+bool PermGroup::equals(const PermGroup& other) const {
+  return contains_group(other) && other.contains_group(*this) &&
+         order_string() == other.order_string();
+}
+
+std::vector<std::uint32_t> PermGroup::orbit(std::uint32_t s) const {
+  std::vector<std::uint32_t> result = {s};
+  std::vector<bool> seen(degree_ + 1, false);
+  if (s <= degree_) seen[s] = true;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    for (const Permutation& gen : generators_) {
+      const std::uint32_t image = gen.apply(result[i]);
+      if (image <= degree_ && !seen[image]) {
+        seen[image] = true;
+        result.push_back(image);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool PermGroup::fixes_point(std::uint32_t s) const {
+  for (const Permutation& gen : generators_) {
+    if (gen.apply(s) != s) return false;
+  }
+  return true;
+}
+
+std::vector<Permutation> PermGroup::elements(std::size_t limit) const {
+  QSYN_CHECK(order() <= limit, "group too large to enumerate");
+  std::vector<Permutation> out = {Permutation::identity(degree_)};
+  // Sifting factors every element uniquely as u_{k-1} * ... * u_0 with u_i
+  // in the level-i transversal, so products built level by level from level
+  // 0 outward enumerate each element exactly once.
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    std::vector<Permutation> next;
+    next.reserve(out.size() * level.transversal.size());
+    for (const auto& [point, rep] : level.transversal) {
+      for (const auto& tail : out) {
+        next.push_back(rep * tail);
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> PermGroup::base() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(levels_.size());
+  for (const Level& level : levels_) out.push_back(level.base_point);
+  return out;
+}
+
+}  // namespace qsyn::perm

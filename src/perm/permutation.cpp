@@ -1,0 +1,304 @@
+#include "perm/permutation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qsyn::perm {
+
+Permutation Permutation::identity(std::size_t n) {
+  Permutation p;
+  p.images_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.images_[i] = static_cast<std::uint32_t>(i + 1);
+  }
+  return p;
+}
+
+Permutation Permutation::from_images(std::vector<std::uint32_t> images) {
+  const std::size_t n = images.size();
+  std::vector<bool> hit(n, false);
+  for (const std::uint32_t img : images) {
+    QSYN_CHECK(img >= 1 && img <= n, "image out of range in from_images");
+    QSYN_CHECK(!hit[img - 1], "duplicate image in from_images");
+    hit[img - 1] = true;
+  }
+  Permutation p;
+  p.images_ = std::move(images);
+  return p;
+}
+
+Permutation Permutation::from_images0(
+    const std::vector<std::uint32_t>& images0) {
+  std::vector<std::uint32_t> images1(images0.size());
+  for (std::size_t i = 0; i < images0.size(); ++i) images1[i] = images0[i] + 1;
+  return from_images(std::move(images1));
+}
+
+Permutation Permutation::from_cycles(const std::string& text, std::size_t n) {
+  const std::string_view body = qsyn::trim(text);
+  // First pass: parse cycles as integer lists.
+  std::vector<std::vector<std::uint32_t>> cycles;
+  std::size_t max_point = 0;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    if (std::isspace(static_cast<unsigned char>(body[pos])) != 0) {
+      ++pos;
+      continue;
+    }
+    if (body[pos] != '(') {
+      throw qsyn::ParseError("expected '(' in cycle notation: " + text);
+    }
+    const std::size_t close = body.find(')', pos);
+    if (close == std::string_view::npos) {
+      throw qsyn::ParseError("unbalanced '(' in cycle notation: " + text);
+    }
+    const std::string_view inner = body.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    if (qsyn::trim(inner).empty()) continue;  // "()" = identity cycle
+    std::vector<std::uint32_t> cycle;
+    for (const std::string& piece : qsyn::split(inner, ',')) {
+      if (piece.empty()) {
+        throw qsyn::ParseError("empty element in cycle notation: " + text);
+      }
+      std::size_t parsed = 0;
+      unsigned long value = 0;
+      try {
+        value = std::stoul(piece, &parsed);
+      } catch (const std::exception&) {
+        throw qsyn::ParseError("bad integer '" + piece + "' in " + text);
+      }
+      if (parsed != piece.size() || value == 0) {
+        throw qsyn::ParseError("bad point '" + piece + "' in " + text);
+      }
+      cycle.push_back(static_cast<std::uint32_t>(value));
+      max_point = std::max<std::size_t>(max_point, value);
+    }
+    cycles.push_back(std::move(cycle));
+  }
+  const std::size_t degree = (n == 0) ? max_point : n;
+  if (n != 0 && max_point > n) {
+    throw qsyn::ParseError("cycle mentions point beyond requested degree");
+  }
+  Permutation p = identity(degree);
+  std::vector<bool> used(degree, false);
+  for (const auto& cycle : cycles) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const std::uint32_t from = cycle[i];
+      const std::uint32_t to = cycle[(i + 1) % cycle.size()];
+      if (used[from - 1]) {
+        throw qsyn::ParseError("point repeated across cycles in " + text);
+      }
+      used[from - 1] = true;
+      p.images_[from - 1] = to;
+    }
+  }
+  return p;
+}
+
+Permutation Permutation::transposition(std::size_t n, std::uint32_t a,
+                                       std::uint32_t b) {
+  QSYN_CHECK(a >= 1 && a <= n && b >= 1 && b <= n && a != b,
+             "bad transposition points");
+  Permutation p = identity(n);
+  std::swap(p.images_[a - 1], p.images_[b - 1]);
+  return p;
+}
+
+std::uint32_t Permutation::apply(std::uint32_t s) const {
+  QSYN_CHECK(s >= 1, "points are 1-based");
+  if (s > images_.size()) return s;  // points beyond the degree are fixed
+  return images_[s - 1];
+}
+
+std::vector<std::uint32_t> Permutation::apply_set(
+    const std::vector<std::uint32_t>& points) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(points.size());
+  for (const std::uint32_t s : points) out.push_back(apply(s));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Permutation operator*(const Permutation& a, const Permutation& b) {
+  const std::size_t n = std::max(a.degree(), b.degree());
+  Permutation p;
+  p.images_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.images_[i] = b.apply(a.apply(static_cast<std::uint32_t>(i + 1)));
+  }
+  return p;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation p;
+  p.images_.resize(images_.size());
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    p.images_[images_[i] - 1] = static_cast<std::uint32_t>(i + 1);
+  }
+  return p;
+}
+
+Permutation Permutation::power(std::size_t k) const {
+  Permutation result = identity(degree());
+  Permutation base = *this;
+  while (k > 0) {
+    if ((k & 1U) != 0) result = result * base;
+    base = base * base;
+    k >>= 1U;
+  }
+  return result;
+}
+
+std::size_t Permutation::order() const {
+  // lcm of cycle lengths.
+  std::size_t result = 1;
+  for (const std::size_t len : cycle_type()) {
+    const std::size_t g = [](std::size_t a, std::size_t b) {
+      while (b != 0) {
+        a %= b;
+        std::swap(a, b);
+      }
+      return a;
+    }(result, len);
+    result = result / g * len;
+  }
+  return result;
+}
+
+bool Permutation::is_identity() const {
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (images_[i] != i + 1) return false;
+  }
+  return true;
+}
+
+int Permutation::sign() const {
+  int sign = 1;
+  for (const std::size_t len : cycle_type()) {
+    if (len % 2 == 0) sign = -sign;
+  }
+  return sign;
+}
+
+std::vector<std::uint32_t> Permutation::support() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (images_[i] != i + 1) out.push_back(static_cast<std::uint32_t>(i + 1));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Permutation::fixed_points() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (images_[i] == i + 1) out.push_back(static_cast<std::uint32_t>(i + 1));
+  }
+  return out;
+}
+
+bool Permutation::stabilizes_set(const std::vector<std::uint32_t>& s) const {
+  std::vector<std::uint32_t> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  return apply_set(s) == sorted;
+}
+
+Permutation Permutation::restricted_to_prefix(std::size_t k) const {
+  std::vector<std::uint32_t> images(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t img = apply(static_cast<std::uint32_t>(i + 1));
+    QSYN_CHECK(img >= 1 && img <= k,
+               "restricted_to_prefix: permutation does not stabilize {1..k}");
+    images[i] = img;
+  }
+  return from_images(std::move(images));
+}
+
+Permutation Permutation::extended_to(std::size_t n) const {
+  QSYN_CHECK(n >= degree(), "extended_to cannot shrink a permutation");
+  Permutation p = *this;
+  p.images_.reserve(n);
+  for (std::size_t i = degree(); i < n; ++i) {
+    p.images_.push_back(static_cast<std::uint32_t>(i + 1));
+  }
+  return p;
+}
+
+std::string Permutation::to_cycle_string() const {
+  std::ostringstream os;
+  std::vector<bool> seen(images_.size(), false);
+  bool any = false;
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (seen[i] || images_[i] == i + 1) continue;
+    any = true;
+    os << '(';
+    std::size_t j = i;
+    bool first = true;
+    while (!seen[j]) {
+      seen[j] = true;
+      if (!first) os << ',';
+      os << (j + 1);
+      first = false;
+      j = images_[j] - 1;
+    }
+    os << ')';
+  }
+  if (!any) return "()";
+  return os.str();
+}
+
+std::vector<std::size_t> Permutation::cycle_type() const {
+  std::vector<std::size_t> lengths;
+  std::vector<bool> seen(images_.size(), false);
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (seen[i] || images_[i] == i + 1) continue;
+    std::size_t len = 0;
+    std::size_t j = i;
+    while (!seen[j]) {
+      seen[j] = true;
+      ++len;
+      j = images_[j] - 1;
+    }
+    lengths.push_back(len);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());
+  return lengths;
+}
+
+bool operator==(const Permutation& a, const Permutation& b) {
+  const std::size_t n = std::max(a.degree(), b.degree());
+  for (std::size_t s = 1; s <= n; ++s) {
+    if (a.apply(static_cast<std::uint32_t>(s)) !=
+        b.apply(static_cast<std::uint32_t>(s))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool operator<(const Permutation& a, const Permutation& b) {
+  const std::size_t n = std::max(a.degree(), b.degree());
+  for (std::size_t s = 1; s <= n; ++s) {
+    const std::uint32_t ia = a.apply(static_cast<std::uint32_t>(s));
+    const std::uint32_t ib = b.apply(static_cast<std::uint32_t>(s));
+    if (ia != ib) return ia < ib;
+  }
+  return false;
+}
+
+std::size_t PermutationHash::operator()(const Permutation& p) const {
+  // FNV-1a over the image table, skipping trailing fixed points so equal
+  // permutations of different declared degrees hash identically.
+  std::size_t n = p.degree();
+  while (n > 0 && p.apply(static_cast<std::uint32_t>(n)) == n) --n;
+  std::size_t h = 1469598103934665603ULL;
+  for (std::size_t s = 1; s <= n; ++s) {
+    h ^= p.apply(static_cast<std::uint32_t>(s));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace qsyn::perm

@@ -1,0 +1,115 @@
+// qsyn/perm/permutation.h
+//
+// Finite permutations on {1, 2, ..., n} with the composition convention used
+// by the paper (and by GAP): the product a*b means "apply a first, then b",
+// i.e. (a*b)(s) = b(a(s)).
+//
+// Points are 1-based in the public API (matching the paper's labels and cycle
+// notation) and 0-based in internal storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qsyn::perm {
+
+/// A permutation of {1, ..., degree()}.
+class Permutation {
+ public:
+  /// The identity on zero points (degree 0). Acts as identity everywhere.
+  Permutation() = default;
+
+  /// Identity on {1, ..., n}.
+  static Permutation identity(std::size_t n);
+
+  /// From the image table: images[i] is the (1-based) image of point i+1.
+  static Permutation from_images(std::vector<std::uint32_t> images);
+
+  /// From 0-based images (convenience for packed/array call sites).
+  static Permutation from_images0(const std::vector<std::uint32_t>& images0);
+
+  /// Parses disjoint-cycle notation, e.g. "(3,7,4,8)" or
+  /// "(5,17,7,21)(6,18,8,22)"; "()" is the identity. `n` may be 0 to infer the
+  /// degree as the largest point mentioned. Throws qsyn::ParseError on
+  /// malformed text or repeated points.
+  static Permutation from_cycles(const std::string& text, std::size_t n = 0);
+
+  /// Transposition (a b) on {1..n}.
+  static Permutation transposition(std::size_t n, std::uint32_t a,
+                                   std::uint32_t b);
+
+  [[nodiscard]] std::size_t degree() const { return images_.size(); }
+
+  /// Image of 1-based point `s`; points beyond the degree are fixed.
+  [[nodiscard]] std::uint32_t apply(std::uint32_t s) const;
+  std::uint32_t operator()(std::uint32_t s) const { return apply(s); }
+
+  /// Image of a set of 1-based points.
+  [[nodiscard]] std::vector<std::uint32_t> apply_set(
+      const std::vector<std::uint32_t>& points) const;
+
+  /// Paper/GAP convention: (a*b)(s) = b(a(s)) — a first, then b.
+  friend Permutation operator*(const Permutation& a, const Permutation& b);
+
+  [[nodiscard]] Permutation inverse() const;
+
+  /// k-fold product of *this* with itself; k >= 0.
+  [[nodiscard]] Permutation power(std::size_t k) const;
+
+  /// Multiplicative order (smallest k >= 1 with p^k = identity).
+  [[nodiscard]] std::size_t order() const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  /// +1 for even permutations, -1 for odd.
+  [[nodiscard]] int sign() const;
+
+  /// 1-based points not fixed by the permutation, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> support() const;
+
+  /// 1-based fixed points within {1..degree()}, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> fixed_points() const;
+
+  /// True iff p(S) = S as sets (S given as 1-based points).
+  [[nodiscard]] bool stabilizes_set(const std::vector<std::uint32_t>& s) const;
+
+  /// The paper's Restrictedperm(b, S) for S = {1..k}: requires b({1..k}) =
+  /// {1..k} and returns the induced permutation on {1..k}. Throws
+  /// qsyn::LogicError if the prefix is not stabilized.
+  [[nodiscard]] Permutation restricted_to_prefix(std::size_t k) const;
+
+  /// Extends (pads) to degree n >= degree() by fixing the new points.
+  [[nodiscard]] Permutation extended_to(std::size_t n) const;
+
+  /// Disjoint-cycle rendering, fixed points omitted; identity is "()".
+  [[nodiscard]] std::string to_cycle_string() const;
+
+  /// Cycle type as a sorted (descending) list of cycle lengths >= 2.
+  [[nodiscard]] std::vector<std::size_t> cycle_type() const;
+
+  /// Raw image table (0-based internally converted to 1-based images).
+  [[nodiscard]] const std::vector<std::uint32_t>& images1() const {
+    return images_;
+  }
+
+  friend bool operator==(const Permutation& a, const Permutation& b);
+  friend bool operator!=(const Permutation& a, const Permutation& b) {
+    return !(a == b);
+  }
+  /// Lexicographic order on padded image tables (for use in sorted sets).
+  friend bool operator<(const Permutation& a, const Permutation& b);
+
+ private:
+  // images_[i] is the 1-based image of 1-based point (i+1).
+  std::vector<std::uint32_t> images_;
+};
+
+/// Hash functor so Permutation can key unordered containers.
+struct PermutationHash {
+  std::size_t operator()(const Permutation& p) const;
+};
+
+}  // namespace qsyn::perm

@@ -1,0 +1,33 @@
+#include "sim/cross_check.h"
+
+#include "sim/state_vector.h"
+#include "sim/unitary.h"
+
+namespace qsyn::sim {
+
+bool mv_model_matches_hilbert(const gates::Cascade& cascade,
+                              const mvl::PatternDomain& domain, double tol) {
+  const std::size_t wires = cascade.wires();
+  if (domain.wires() != wires) return false;
+  for (std::uint32_t bits = 0; bits < (1u << wires); ++bits) {
+    const mvl::Pattern input = mvl::Pattern::from_binary(wires, bits);
+    // Hilbert-space evolution.
+    StateVector state = StateVector::basis(wires, bits);
+    state.apply_cascade(cascade);
+    // Multi-valued prediction, lifted back to a product state.
+    const mvl::Pattern predicted = cascade.apply(input);
+    const StateVector expected = StateVector::from_pattern(predicted);
+    if (state.distance_to(expected) > tol) return false;
+  }
+  return true;
+}
+
+bool realizes_permutation(const gates::Cascade& cascade,
+                          const perm::Permutation& target, double tol) {
+  const la::Matrix u = cascade_unitary(cascade);
+  const la::Matrix expected = permutation_unitary(
+      target.extended_to(std::size_t(1) << cascade.wires()), cascade.wires());
+  return u.approx_equal(expected, tol);
+}
+
+}  // namespace qsyn::sim

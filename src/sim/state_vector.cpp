@@ -1,0 +1,141 @@
+#include "sim/state_vector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/gate_constants.h"
+
+namespace qsyn::sim {
+
+StateVector::StateVector(std::size_t wires)
+    : wires_(wires), amps_(la::Vector(std::size_t(1) << wires)) {
+  QSYN_CHECK(wires >= 1 && wires <= 20, "unsupported qubit count");
+  amps_[0] = la::Complex(1.0, 0.0);
+}
+
+StateVector StateVector::basis(std::size_t wires, std::uint32_t bits) {
+  StateVector s(wires);
+  QSYN_CHECK(bits < s.dimension(), "basis state out of range");
+  s.amps_[0] = la::Complex(0.0, 0.0);
+  s.amps_[bits] = la::Complex(1.0, 0.0);
+  return s;
+}
+
+StateVector StateVector::from_pattern(const mvl::Pattern& pattern) {
+  StateVector s(pattern.wires());
+  la::Vector product = mvl::quat_state(pattern.get(0));
+  for (std::size_t w = 1; w < pattern.wires(); ++w) {
+    product = product.kron(mvl::quat_state(pattern.get(w)));
+  }
+  s.amps_ = std::move(product);
+  return s;
+}
+
+void StateVector::apply_1q(const la::Matrix& u, std::size_t wire) {
+  QSYN_CHECK(u.rows() == 2 && u.cols() == 2, "apply_1q needs a 2x2 matrix");
+  QSYN_CHECK(wire < wires_, "wire out of range");
+  // Bit position of `wire` inside the basis index (wire 0 = MSB).
+  const std::size_t bit = wires_ - 1 - wire;
+  const std::size_t stride = std::size_t(1) << bit;
+  for (std::size_t base = 0; base < dimension(); ++base) {
+    if ((base & stride) != 0) continue;  // visit each amplitude pair once
+    const la::Complex a0 = amps_[base];
+    const la::Complex a1 = amps_[base | stride];
+    amps_[base] = u(0, 0) * a0 + u(0, 1) * a1;
+    amps_[base | stride] = u(1, 0) * a0 + u(1, 1) * a1;
+  }
+}
+
+void StateVector::apply_controlled_1q(const la::Matrix& u, std::size_t target,
+                                      std::size_t control) {
+  QSYN_CHECK(u.rows() == 2 && u.cols() == 2,
+             "apply_controlled_1q needs a 2x2 matrix");
+  QSYN_CHECK(target < wires_ && control < wires_ && target != control,
+             "bad controlled gate wires");
+  const std::size_t tbit = wires_ - 1 - target;
+  const std::size_t cbit = wires_ - 1 - control;
+  const std::size_t tstride = std::size_t(1) << tbit;
+  const std::size_t cstride = std::size_t(1) << cbit;
+  for (std::size_t base = 0; base < dimension(); ++base) {
+    if ((base & tstride) != 0) continue;
+    if ((base & cstride) == 0) continue;  // control must be |1>
+    const la::Complex a0 = amps_[base];
+    const la::Complex a1 = amps_[base | tstride];
+    amps_[base] = u(0, 0) * a0 + u(0, 1) * a1;
+    amps_[base | tstride] = u(1, 0) * a0 + u(1, 1) * a1;
+  }
+}
+
+void StateVector::apply_gate(const gates::Gate& gate) {
+  switch (gate.kind()) {
+    case gates::GateKind::kCtrlV:
+      apply_controlled_1q(la::mat_v(), gate.target(), gate.control());
+      break;
+    case gates::GateKind::kCtrlVdag:
+      apply_controlled_1q(la::mat_v_dagger(), gate.target(), gate.control());
+      break;
+    case gates::GateKind::kFeynman:
+      apply_controlled_1q(la::mat_x(), gate.target(), gate.control());
+      break;
+    case gates::GateKind::kNot:
+      apply_1q(la::mat_x(), gate.target());
+      break;
+  }
+}
+
+void StateVector::apply_cascade(const gates::Cascade& cascade) {
+  QSYN_CHECK(cascade.wires() == wires_, "cascade wire count mismatch");
+  for (const gates::Gate& g : cascade.sequence()) apply_gate(g);
+}
+
+double StateVector::probability_of(std::uint32_t bits) const {
+  QSYN_CHECK(bits < dimension(), "basis state out of range");
+  return std::norm(amps_[bits]);
+}
+
+double StateVector::probability_one(std::size_t wire) const {
+  QSYN_CHECK(wire < wires_, "wire out of range");
+  const std::size_t stride = std::size_t(1) << (wires_ - 1 - wire);
+  double p = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    if ((i & stride) != 0) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+std::vector<double> StateVector::distribution() const {
+  std::vector<double> probs(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) probs[i] = std::norm(amps_[i]);
+  return probs;
+}
+
+std::uint32_t StateVector::sample(Rng& rng) const {
+  const double r = rng.uniform();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    cumulative += std::norm(amps_[i]);
+    if (r < cumulative) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(dimension() - 1);  // rounding tail
+}
+
+std::uint32_t StateVector::measure_all(Rng& rng) {
+  const std::uint32_t outcome = sample(rng);
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    amps_[i] = la::Complex(0.0, 0.0);
+  }
+  amps_[outcome] = la::Complex(1.0, 0.0);
+  return outcome;
+}
+
+double StateVector::distance_to(const StateVector& other) const {
+  QSYN_CHECK(wires_ == other.wires_, "state size mismatch");
+  return (amps_ - other.amps_).norm();
+}
+
+bool StateVector::equal_up_to_phase(const StateVector& other,
+                                    double tol) const {
+  return wires_ == other.wires_ && amps_.equal_up_to_phase(other.amps_, tol);
+}
+
+}  // namespace qsyn::sim

@@ -1,0 +1,146 @@
+#include "synth/flat_perm_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace qsyn::synth {
+
+FlatPermStore::FlatPermStore(std::size_t width) : width_(width) {
+  QSYN_CHECK(width >= 1 && width <= 255, "unsupported permutation width");
+}
+
+const std::uint8_t* FlatPermStore::row(std::size_t i) const {
+  QSYN_CHECK(i < size(), "FlatPermStore row out of range");
+  return bytes_.data() + i * width_;
+}
+
+void FlatPermStore::push_back(const std::uint8_t* row_bytes) {
+  bytes_.insert(bytes_.end(), row_bytes, row_bytes + width_);
+}
+
+void FlatPermStore::push_back(const perm::Permutation& p) {
+  QSYN_CHECK(p.degree() == width_, "permutation degree mismatch");
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + width_);
+  for (std::size_t s = 0; s < width_; ++s) {
+    bytes_[offset + s] =
+        static_cast<std::uint8_t>(p.apply(static_cast<std::uint32_t>(s + 1)) -
+                                  1);
+  }
+}
+
+perm::Permutation FlatPermStore::permutation(std::size_t i) const {
+  const std::uint8_t* r = row(i);
+  std::vector<std::uint32_t> images(width_);
+  for (std::size_t s = 0; s < width_; ++s) images[s] = r[s] + 1u;
+  return perm::Permutation::from_images(std::move(images));
+}
+
+void FlatPermStore::sort_unique() {
+  const std::size_t n = size();
+  if (n <= 1) return;
+  // Indirect sort: order row indices, then gather into a fresh buffer.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const std::uint8_t* base = bytes_.data();
+  const std::size_t w = width_;
+  std::sort(order.begin(), order.end(),
+            [base, w](std::uint32_t a, std::uint32_t b) {
+              return std::memcmp(base + std::size_t(a) * w,
+                                 base + std::size_t(b) * w, w) < 0;
+            });
+  std::vector<std::uint8_t> sorted;
+  sorted.reserve(bytes_.size());
+  const std::uint8_t* prev = nullptr;
+  for (const std::uint32_t idx : order) {
+    const std::uint8_t* r = base + std::size_t(idx) * w;
+    if (prev != nullptr && std::memcmp(prev, r, w) == 0) continue;
+    sorted.insert(sorted.end(), r, r + w);
+    prev = sorted.data() + sorted.size() - w;
+  }
+  bytes_ = std::move(sorted);
+}
+
+void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
+  QSYN_CHECK(width_ == other.width_, "width mismatch");
+  if (empty() || other.empty()) return;
+  std::vector<std::uint8_t> kept;
+  kept.reserve(bytes_.size());
+  const std::size_t w = width_;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const std::size_t n = size();
+  const std::size_t m = other.size();
+  while (i < n) {
+    if (j == m) {
+      kept.insert(kept.end(), bytes_.begin() + i * w, bytes_.end());
+      break;
+    }
+    const int cmp = std::memcmp(row(i), other.row(j), w);
+    if (cmp < 0) {
+      kept.insert(kept.end(), row(i), row(i) + w);
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++i;  // drop: present in other
+    }
+  }
+  bytes_ = std::move(kept);
+}
+
+void FlatPermStore::merge_sorted(const FlatPermStore& other) {
+  QSYN_CHECK(width_ == other.width_, "width mismatch");
+  if (other.empty()) return;
+  std::vector<std::uint8_t> merged;
+  merged.reserve(bytes_.size() + other.bytes_.size());
+  const std::size_t w = width_;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const std::size_t n = size();
+  const std::size_t m = other.size();
+  while (i < n && j < m) {
+    const int cmp = std::memcmp(row(i), other.row(j), w);
+    if (cmp <= 0) {
+      merged.insert(merged.end(), row(i), row(i) + w);
+      if (cmp == 0) ++j;  // keep duplicates once
+      ++i;
+    } else {
+      merged.insert(merged.end(), other.row(j), other.row(j) + w);
+      ++j;
+    }
+  }
+  if (i < n) merged.insert(merged.end(), bytes_.begin() + i * w, bytes_.end());
+  if (j < m) {
+    merged.insert(merged.end(), other.bytes_.begin() + j * w,
+                  other.bytes_.end());
+  }
+  bytes_ = std::move(merged);
+}
+
+bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
+  const std::size_t w = width_;
+  std::size_t lo = 0;
+  std::size_t hi = size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int cmp = std::memcmp(row(mid), row_bytes, w);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+void FlatPermStore::clear() {
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+}
+
+}  // namespace qsyn::synth

@@ -1,0 +1,73 @@
+// qsyn/synth/flat_perm_store.h
+//
+// Flat, cache-friendly storage for millions of small permutations.
+//
+// The FMCF breadth-first closure (Section 3 of the paper) manipulates sets of
+// permutations on the 38-label domain. At the paper's bound cb = 7 there are
+// ~690k reachable permutations and the frontier grows ~4.5x per level, so the
+// enumerator stores each permutation as `width` contiguous bytes (0-based
+// images) inside one large buffer, and implements set algebra
+// (sort / unique / difference / merge) over that buffer. This keeps the
+// per-element overhead at zero and makes the sweeps sequential.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perm/permutation.h"
+
+namespace qsyn::synth {
+
+/// A dynamically sized array of fixed-width byte rows, each row one
+/// permutation image table (0-based). Rows compare lexicographically.
+class FlatPermStore {
+ public:
+  /// `width` = permutation degree (bytes per row); images must fit a byte.
+  explicit FlatPermStore(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size() / width_; }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+
+  /// Pointer to row `i` (width() bytes).
+  [[nodiscard]] const std::uint8_t* row(std::size_t i) const;
+
+  /// Appends a row (must be width() bytes of 0-based images).
+  void push_back(const std::uint8_t* row_bytes);
+
+  /// Appends a Permutation (degree must equal width()).
+  void push_back(const perm::Permutation& p);
+
+  /// Row i as a Permutation.
+  [[nodiscard]] perm::Permutation permutation(std::size_t i) const;
+
+  /// Sorts rows lexicographically and removes duplicates.
+  void sort_unique();
+
+  /// Requires both stores sorted: removes from *this* every row present in
+  /// `other` (set difference, in place).
+  void subtract_sorted(const FlatPermStore& other);
+
+  /// Requires both stores sorted: merges `other` into *this*, keeping the
+  /// result sorted. Duplicate rows across the two stores are kept once
+  /// (inputs are assumed disjoint when that matters; see subtract_sorted).
+  void merge_sorted(const FlatPermStore& other);
+
+  /// Binary search in a sorted store.
+  [[nodiscard]] bool contains_sorted(const std::uint8_t* row_bytes) const;
+
+  /// Releases all memory.
+  void clear();
+
+  /// Bytes of heap memory currently held.
+  [[nodiscard]] std::size_t memory_bytes() const { return bytes_.capacity(); }
+
+  void reserve_rows(std::size_t rows) { bytes_.reserve(rows * width_); }
+
+ private:
+  std::size_t width_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace qsyn::synth

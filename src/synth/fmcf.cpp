@@ -1,0 +1,275 @@
+#include "synth/fmcf.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace qsyn::synth {
+
+FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
+                               FmcfOptions options)
+    : library_(&library),
+      options_(options),
+      width_(library.domain().size()),
+      binary_count_(library.domain().binary_count()),
+      seen_(library.domain().size()) {
+  const mvl::PatternDomain& domain = library.domain();
+  QSYN_CHECK(domain.wires() <= 4,
+             "FMCF G-set keys support up to 4 wires (16 binary labels)");
+  QSYN_CHECK(width_ <= 255, "domain too large for byte-packed permutations");
+  // Sanity: the first 2^n labels must be the binary patterns (reduced-domain
+  // ordering), otherwise S != {1..2^n} and the restriction logic is wrong.
+  for (std::uint32_t label = 1; label <= binary_count_; ++label) {
+    QSYN_CHECK(domain.pattern(label).is_binary(),
+               "FMCF requires a domain with binary labels first");
+  }
+
+  gate_tables_.reserve(library.size());
+  gate_inv_tables_.reserve(library.size());
+  gate_class_bits_.reserve(library.size());
+  for (std::size_t g = 0; g < library.size(); ++g) {
+    const perm::Permutation& p = library.permutation(g);
+    std::vector<std::uint8_t> table(width_);
+    std::vector<std::uint8_t> inv(width_);
+    for (std::size_t s = 0; s < width_; ++s) {
+      const std::uint32_t image = p.apply(static_cast<std::uint32_t>(s + 1));
+      table[s] = static_cast<std::uint8_t>(image - 1);
+      inv[image - 1] = static_cast<std::uint8_t>(s);
+    }
+    gate_tables_.push_back(std::move(table));
+    gate_inv_tables_.push_back(std::move(inv));
+    gate_class_bits_.push_back(1u << library.banned_class_of(g));
+  }
+  label_banned_.resize(width_);
+  for (std::uint32_t label = 1; label <= width_; ++label) {
+    label_banned_[label - 1] = domain.banned_mask(label);
+  }
+
+  // Level 0: the identity.
+  const perm::Permutation id =
+      perm::Permutation::identity(width_);
+  seen_.push_back(id);
+  frontiers_.emplace_back(width_);
+  frontiers_.back().push_back(id);
+
+  const std::uint64_t id_key =
+      g_key_of_row(frontiers_.back().row(0));
+  g_seen_keys_.push_back(id_key);
+  g_index_.emplace(id_key, GEntry{0, 0});
+}
+
+std::uint32_t FmcfEnumerator::banned_mask_of_row(
+    const std::uint8_t* row) const {
+  std::uint32_t mask = 0;
+  for (std::size_t s = 0; s < binary_count_; ++s) {
+    mask |= label_banned_[row[s]];
+  }
+  return mask;
+}
+
+bool FmcfEnumerator::row_is_binary_preserving(const std::uint8_t* row) const {
+  for (std::size_t s = 0; s < binary_count_; ++s) {
+    if (row[s] >= binary_count_) return false;
+  }
+  return true;
+}
+
+std::uint64_t FmcfEnumerator::g_key_of_row(const std::uint8_t* row) const {
+  // n bits per binary point; at most 16 points x 4 bits = 64 bits.
+  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
+  std::uint64_t key = 0;
+  for (std::size_t s = 0; s < binary_count_; ++s) {
+    key |= static_cast<std::uint64_t>(row[s]) << (bits * s);
+  }
+  return key;
+}
+
+const FmcfLevelStats& FmcfEnumerator::advance() {
+  Stopwatch timer;
+  const unsigned k = levels_done() + 1;
+  const FlatPermStore& previous = frontiers_.back();
+  QSYN_CHECK(!previous.empty() || k == 1,
+             "closure already exhausted (empty frontier)");
+
+  FlatPermStore fresh(width_);
+  FlatPermStore chunk(width_);
+  std::vector<std::uint8_t> out(width_);
+
+  auto flush_chunk = [&]() {
+    if (chunk.empty()) return;
+    chunk.sort_unique();
+    chunk.subtract_sorted(seen_);
+    chunk.subtract_sorted(fresh);
+    fresh.merge_sorted(chunk);
+    chunk.clear();
+  };
+
+  for (std::size_t i = 0; i < previous.size(); ++i) {
+    const std::uint8_t* row = previous.row(i);
+    const std::uint32_t banned =
+        options_.use_banned_sets ? banned_mask_of_row(row) : 0u;
+    for (std::size_t g = 0; g < gate_tables_.size(); ++g) {
+      if ((banned & gate_class_bits_[g]) != 0) continue;
+      const std::uint8_t* table = gate_tables_[g].data();
+      for (std::size_t s = 0; s < width_; ++s) out[s] = table[row[s]];
+      chunk.push_back(out.data());
+      if (chunk.size() >= options_.chunk_rows) flush_chunk();
+    }
+  }
+  flush_chunk();
+
+  // fresh is now B[k], sorted. Update A[k].
+  seen_.merge_sorted(fresh);
+
+  // Extract pre_G[k] and G[k].
+  std::vector<std::uint64_t> level_keys;
+  std::vector<std::pair<std::uint64_t, std::size_t>> key_rows;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const std::uint8_t* row = fresh.row(i);
+    if (!row_is_binary_preserving(row)) continue;
+    const std::uint64_t key = g_key_of_row(row);
+    level_keys.push_back(key);
+    key_rows.emplace_back(key, i);
+  }
+  std::sort(level_keys.begin(), level_keys.end());
+  level_keys.erase(std::unique(level_keys.begin(), level_keys.end()),
+                   level_keys.end());
+  const std::size_t pre_g = level_keys.size();
+
+  std::vector<std::uint64_t> new_keys;
+  std::set_difference(level_keys.begin(), level_keys.end(),
+                      g_seen_keys_.begin(), g_seen_keys_.end(),
+                      std::back_inserter(new_keys));
+  // Register the first (lowest-row) witness for every new key.
+  std::sort(key_rows.begin(), key_rows.end());
+  for (const std::uint64_t key : new_keys) {
+    const auto it = std::lower_bound(
+        key_rows.begin(), key_rows.end(),
+        std::make_pair(key, std::size_t{0}));
+    QSYN_CHECK(it != key_rows.end() && it->first == key,
+               "witness row must exist for a new G key");
+    g_index_.emplace(key, GEntry{k, it->second});
+  }
+  std::vector<std::uint64_t> merged_keys;
+  merged_keys.reserve(g_seen_keys_.size() + new_keys.size());
+  std::merge(g_seen_keys_.begin(), g_seen_keys_.end(), new_keys.begin(),
+             new_keys.end(), std::back_inserter(merged_keys));
+  g_seen_keys_ = std::move(merged_keys);
+
+  FmcfLevelStats stats;
+  stats.cost = k;
+  stats.frontier = fresh.size();
+  stats.g_new = new_keys.size();
+  stats.pre_g = pre_g;
+  stats.seen = seen_.size();
+
+  frontiers_.push_back(std::move(fresh));
+  if (!options_.track_witnesses && frontiers_.size() >= 2) {
+    frontiers_[frontiers_.size() - 2].clear();
+  }
+  stats.seconds = timer.seconds();
+  stats_.push_back(stats);
+  return stats_.back();
+}
+
+void FmcfEnumerator::run_to(unsigned max_cost) {
+  while (levels_done() < max_cost) advance();
+}
+
+std::vector<perm::Permutation> FmcfEnumerator::g_set(unsigned k) const {
+  QSYN_CHECK(k <= levels_done(), "level not yet computed");
+  std::vector<perm::Permutation> out;
+  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
+  for (const auto& [key, entry] : g_index_) {
+    if (entry.cost != k) continue;
+    std::vector<std::uint32_t> images(binary_count_);
+    for (std::size_t s = 0; s < binary_count_; ++s) {
+      images[s] = static_cast<std::uint32_t>(
+                      (key >> (bits * s)) & ((1u << bits) - 1)) +
+                  1;
+    }
+    out.push_back(perm::Permutation::from_images(std::move(images)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<GEntry> FmcfEnumerator::find(
+    const perm::Permutation& restricted) const {
+  QSYN_CHECK(restricted.degree() <= binary_count_,
+             "restricted permutation degree exceeds 2^n");
+  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
+  std::uint64_t key = 0;
+  for (std::size_t s = 0; s < binary_count_; ++s) {
+    const std::uint64_t image =
+        restricted.apply(static_cast<std::uint32_t>(s + 1)) - 1;
+    key |= image << (bits * s);
+  }
+  const auto it = g_index_.find(key);
+  if (it == g_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+gates::Cascade FmcfEnumerator::witness(const GEntry& entry) const {
+  return witness_for_row(entry.cost, entry.frontier_index);
+}
+
+gates::Cascade FmcfEnumerator::witness_for_row(unsigned k,
+                                               std::size_t row_index) const {
+  QSYN_CHECK(options_.track_witnesses,
+             "witness reconstruction requires track_witnesses");
+  QSYN_CHECK(k <= levels_done(), "level not yet computed");
+  // Back-walk: repeatedly find a gate d and predecessor prev in B[j-1] with
+  // prev * d == current and the product reasonable.
+  std::vector<gates::Gate> sequence;
+  std::vector<std::uint8_t> current(frontiers_[k].row(row_index),
+                                    frontiers_[k].row(row_index) + width_);
+  std::vector<std::uint8_t> prev(width_);
+  for (unsigned j = k; j >= 1; --j) {
+    bool found = false;
+    for (std::size_t g = 0; g < gate_tables_.size() && !found; ++g) {
+      const std::uint8_t* inv = gate_inv_tables_[g].data();
+      for (std::size_t s = 0; s < width_; ++s) prev[s] = inv[current[s]];
+      if (!frontiers_[j - 1].contains_sorted(prev.data())) continue;
+      if (options_.use_banned_sets &&
+          (banned_mask_of_row(prev.data()) & gate_class_bits_[g]) != 0) {
+        continue;
+      }
+      sequence.push_back(library_->gate(g));
+      current = prev;
+      found = true;
+    }
+    QSYN_CHECK(found, "back-walk failed: frontier inconsistency");
+  }
+  std::reverse(sequence.begin(), sequence.end());
+  return gates::Cascade(library_->domain().wires(), std::move(sequence));
+}
+
+std::vector<std::size_t> FmcfEnumerator::implementations(
+    const perm::Permutation& restricted, unsigned k) const {
+  QSYN_CHECK(options_.track_witnesses,
+             "implementation scan requires track_witnesses");
+  QSYN_CHECK(k <= levels_done(), "level not yet computed");
+  std::vector<std::size_t> rows;
+  const FlatPermStore& frontier = frontiers_[k];
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const std::uint8_t* row = frontier.row(i);
+    if (!row_is_binary_preserving(row)) continue;
+    bool match = true;
+    for (std::size_t s = 0; s < binary_count_ && match; ++s) {
+      match = static_cast<std::uint32_t>(row[s]) + 1 ==
+              restricted.apply(static_cast<std::uint32_t>(s + 1));
+    }
+    if (match) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::size_t FmcfEnumerator::memory_bytes() const {
+  std::size_t total = seen_.memory_bytes();
+  for (const FlatPermStore& f : frontiers_) total += f.memory_bytes();
+  return total;
+}
+
+}  // namespace qsyn::synth

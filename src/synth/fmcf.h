@@ -1,0 +1,140 @@
+// qsyn/synth/fmcf.h
+//
+// The paper's Finding_Minimum_Cost_Circuits (FMCF) algorithm: a breadth-first
+// closure of the quantum gate library L under the "reasonable product"
+// constraint.
+//
+//   A[k] = circuits realizable with <= k gates        (as permutations of the
+//   B[k] = A[k] - A[k-1]   (frontier: minimal cost k)  reduced pattern domain)
+//   pre_G[k] = { Restrictedperm(b, S) : b in B[k], b(S) = S }
+//   G[k] = pre_G[k] - G[k-1] - ... - G[1] - G[0]
+//
+// G[k] is the set of reversible (binary-in/binary-out) circuits whose minimal
+// quantum cost is exactly k (Theorem 1). Table 2 of the paper tabulates
+// |G[k]| for k = 0..7; with NOT gates, |S8[k]| = 2^n * |G[k]| by Theorem 2.
+//
+// The enumerator runs level by level (advance()), storing each frontier as a
+// sorted flat byte store, so the paper's memory bound cb can be pushed well
+// past 7 on a modern machine (see bench_beyond_cb7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/cascade.h"
+#include "gates/library.h"
+#include "perm/permutation.h"
+#include "synth/flat_perm_store.h"
+
+namespace qsyn::synth {
+
+struct FmcfOptions {
+  /// Keep every level's frontier so witness cascades can be reconstructed
+  /// (the paper's MCE back-walk). Costs memory; disable for pure counting.
+  bool track_witnesses = true;
+
+  /// Honor the banned sets (the paper's "reasonable product"). Turning this
+  /// off is an *ablation only*: the closure then walks unphysical cascades
+  /// whose don't-care semantics do not correspond to quantum circuits.
+  bool use_banned_sets = true;
+
+  /// Candidate-buffer chunk size (rows) for the level expansion; bounds peak
+  /// memory at deep levels.
+  std::size_t chunk_rows = std::size_t(1) << 24;
+};
+
+/// Per-level statistics, one entry per computed cost k >= 1.
+struct FmcfLevelStats {
+  unsigned cost = 0;          // k
+  std::size_t frontier = 0;   // |B[k]|
+  std::size_t g_new = 0;      // |G[k]|
+  std::size_t pre_g = 0;      // |pre_G[k]| (before subtracting earlier G's)
+  std::size_t seen = 0;       // |A[k]|
+  double seconds = 0.0;       // wall time for this level
+};
+
+/// Handle to one reversible circuit discovered by the closure.
+struct GEntry {
+  unsigned cost = 0;            // minimal quantum cost
+  std::size_t frontier_index = 0;  // row in the B[cost] store (0 for cost 0)
+};
+
+/// Breadth-first FMCF closure over a gate library.
+class FmcfEnumerator {
+ public:
+  /// The library must be built over a *reduced* domain whose first 2^n
+  /// labels are the binary patterns. Supports up to 4 wires (G-set keys are
+  /// packed into 64 bits).
+  explicit FmcfEnumerator(const gates::GateLibrary& library,
+                          FmcfOptions options = {});
+
+  /// Computes the next level (k = levels_done()+1) and returns its stats.
+  const FmcfLevelStats& advance();
+
+  /// Runs advance() until `max_cost` levels are done.
+  void run_to(unsigned max_cost);
+
+  [[nodiscard]] unsigned levels_done() const {
+    return static_cast<unsigned>(stats_.size());
+  }
+  [[nodiscard]] const std::vector<FmcfLevelStats>& stats() const {
+    return stats_;
+  }
+
+  /// Members of G[k] as permutations of the binary labels {1..2^n};
+  /// G[0] = { identity }. Requires k <= levels_done().
+  [[nodiscard]] std::vector<perm::Permutation> g_set(unsigned k) const;
+
+  /// Looks up a reversible circuit (a permutation of {1..2^n}) among the
+  /// levels computed so far.
+  [[nodiscard]] std::optional<GEntry> find(
+      const perm::Permutation& restricted) const;
+
+  /// Reconstructs one minimal witness cascade for an entry by the paper's
+  /// back-walk (find d with b*(d)^{-1} in B[k-1] and the product reasonable).
+  /// Requires track_witnesses.
+  [[nodiscard]] gates::Cascade witness(const GEntry& entry) const;
+
+  /// All rows b in B[k] whose restriction to S equals `restricted` —
+  /// the paper's count of distinct "implementations" (2 for Peres, 4 for
+  /// Toffoli). Requires track_witnesses and k <= levels_done().
+  [[nodiscard]] std::vector<std::size_t> implementations(
+      const perm::Permutation& restricted, unsigned k) const;
+
+  /// Witness cascade for an explicit row of B[k].
+  [[nodiscard]] gates::Cascade witness_for_row(unsigned k,
+                                               std::size_t row) const;
+
+  /// Total number of distinct cascade-permutations reached (|A[k]|).
+  [[nodiscard]] std::size_t seen_count() const { return seen_.size(); }
+
+  /// Approximate heap usage of the stored sets.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  [[nodiscard]] const gates::GateLibrary& library() const { return *library_; }
+
+ private:
+  [[nodiscard]] std::uint32_t banned_mask_of_row(const std::uint8_t* row) const;
+  [[nodiscard]] std::uint64_t g_key_of_row(const std::uint8_t* row) const;
+  [[nodiscard]] bool row_is_binary_preserving(const std::uint8_t* row) const;
+
+  const gates::GateLibrary* library_;  // outlives the enumerator
+  FmcfOptions options_;
+  std::size_t width_;          // domain size (38 for 3 wires)
+  std::size_t binary_count_;   // 2^n
+  std::vector<std::vector<std::uint8_t>> gate_tables_;      // [gate][label0]
+  std::vector<std::vector<std::uint8_t>> gate_inv_tables_;  // [gate][label0]
+  std::vector<std::uint32_t> gate_class_bits_;              // [gate]
+  std::vector<std::uint32_t> label_banned_;                 // [label0]
+
+  FlatPermStore seen_;                   // A[k], sorted
+  std::vector<FlatPermStore> frontiers_; // B[0..k]; emptied if !track_witnesses
+  std::vector<FmcfLevelStats> stats_;
+
+  std::vector<std::uint64_t> g_seen_keys_;                // sorted
+  std::unordered_map<std::uint64_t, GEntry> g_index_;     // key -> entry
+};
+
+}  // namespace qsyn::synth

@@ -1,0 +1,172 @@
+#include "synth/mce.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qsyn::synth {
+
+McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost)
+    : library_(&library), max_cost_(max_cost), fmcf_(library) {}
+
+McExpressor::Stripped McExpressor::strip_not_coset(
+    const perm::Permutation& target) const {
+  const std::size_t wires = library_->domain().wires();
+  const std::uint32_t binary_count = 1u << wires;
+  QSYN_CHECK(target.degree() <= binary_count,
+             "target permutation degree exceeds 2^wires");
+  const perm::Permutation g = target.extended_to(binary_count);
+
+  // Theorem 2/3: choose d[0] in N with (d[0]^{-1} * g)(1) = 1. Writing a for
+  // d[0] (an involution), h(1) = g(a(1)) = 1 forces a(1) = g^{-1}(1), i.e.
+  // the NOT mask is the bit pattern of label g^{-1}(1).
+  const std::uint32_t mask = g.inverse().apply(1) - 1;
+  Stripped out;
+  for (std::size_t w = 0; w < wires; ++w) {
+    if ((mask >> (wires - 1 - w) & 1u) != 0) {
+      out.not_prefix.push_back(gates::Gate::not_gate(w));
+    }
+  }
+  // a as a permutation of binary labels: XOR by mask.
+  std::vector<std::uint32_t> images(binary_count);
+  for (std::uint32_t l = 0; l < binary_count; ++l) {
+    images[l] = (l ^ mask) + 1;
+  }
+  const perm::Permutation a = perm::Permutation::from_images(std::move(images));
+  out.core_target = a * g;  // a^{-1} * g with a an involution
+  QSYN_CHECK(out.core_target.apply(1) == 1,
+             "NOT-coset stripping must fix the all-zero pattern");
+  return out;
+}
+
+std::optional<GEntry> McExpressor::locate(const perm::Permutation& core) {
+  auto entry = fmcf_.find(core);
+  while (!entry.has_value() && fmcf_.levels_done() < max_cost_) {
+    fmcf_.advance();
+    entry = fmcf_.find(core);
+  }
+  return entry;
+}
+
+SynthesisResult McExpressor::assemble(const Stripped& stripped,
+                                      const gates::Cascade& core) const {
+  SynthesisResult result;
+  result.not_prefix = stripped.not_prefix;
+  result.core = core;
+  result.cost = static_cast<unsigned>(core.size());
+  std::vector<gates::Gate> all = stripped.not_prefix;
+  all.insert(all.end(), core.sequence().begin(), core.sequence().end());
+  result.circuit = gates::Cascade(core.wires(), std::move(all));
+  return result;
+}
+
+std::optional<SynthesisResult> McExpressor::synthesize(
+    const perm::Permutation& target) {
+  const Stripped stripped = strip_not_coset(target);
+  if (stripped.core_target.is_identity()) {
+    return assemble(stripped,
+                    gates::Cascade(library_->domain().wires()));
+  }
+  const auto entry = locate(stripped.core_target);
+  if (!entry.has_value()) return std::nullopt;
+  return assemble(stripped, fmcf_.witness(*entry));
+}
+
+std::vector<SynthesisResult> McExpressor::implementations(
+    const perm::Permutation& target) {
+  const Stripped stripped = strip_not_coset(target);
+  std::vector<SynthesisResult> out;
+  if (stripped.core_target.is_identity()) {
+    out.push_back(assemble(stripped, gates::Cascade(library_->domain().wires())));
+    return out;
+  }
+  const auto entry = locate(stripped.core_target);
+  if (!entry.has_value()) return out;
+  for (const std::size_t row :
+       fmcf_.implementations(stripped.core_target, entry->cost)) {
+    out.push_back(assemble(stripped, fmcf_.witness_for_row(entry->cost, row)));
+  }
+  return out;
+}
+
+std::optional<unsigned> McExpressor::minimal_cost(
+    const perm::Permutation& target) {
+  const Stripped stripped = strip_not_coset(target);
+  if (stripped.core_target.is_identity()) return 0;
+  const auto entry = locate(stripped.core_target);
+  if (!entry.has_value()) return std::nullopt;
+  return entry->cost;
+}
+
+std::size_t McExpressor::count_sequences(const perm::Permutation& target,
+                                         unsigned cost) {
+  QSYN_CHECK(cost >= 1 && cost <= 7, "count_sequences supports cost 1..7");
+  const Stripped stripped = strip_not_coset(target);
+  const mvl::PatternDomain& domain = library_->domain();
+  const std::size_t width = domain.size();
+  const std::size_t binary_count = domain.binary_count();
+
+  // Byte tables mirroring the enumerator's hot path.
+  std::vector<const perm::Permutation*> perms;
+  std::vector<std::uint32_t> class_bits;
+  for (std::size_t g = 0; g < library_->size(); ++g) {
+    perms.push_back(&library_->permutation(g));
+    class_bits.push_back(1u << library_->banned_class_of(g));
+  }
+
+  std::vector<std::uint8_t> state(width);
+  for (std::size_t s = 0; s < width; ++s) {
+    state[s] = static_cast<std::uint8_t>(s);
+  }
+
+  std::size_t count = 0;
+  // Depth-first over reasonable gate sequences of exactly `cost` gates.
+  std::vector<std::uint8_t> scratch((cost + 1) * width);
+  std::copy(state.begin(), state.end(), scratch.begin());
+
+  auto matches_target = [&](const std::uint8_t* row) {
+    for (std::size_t s = 0; s < binary_count; ++s) {
+      if (static_cast<std::uint32_t>(row[s]) + 1 !=
+          stripped.core_target.apply(static_cast<std::uint32_t>(s + 1))) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Recursive lambda via explicit stack of gate choices.
+  struct Frame {
+    std::size_t next_gate = 0;
+  };
+  std::vector<Frame> stack(1);
+  while (!stack.empty()) {
+    const std::size_t depth = stack.size() - 1;
+    const std::uint8_t* current = scratch.data() + depth * width;
+    if (depth == cost) {
+      if (matches_target(current)) ++count;
+      stack.pop_back();
+      continue;
+    }
+    std::uint32_t banned = 0;
+    for (std::size_t s = 0; s < binary_count; ++s) {
+      banned |= domain.banned_mask(current[s] + 1);
+    }
+    bool descended = false;
+    for (std::size_t g = stack.back().next_gate; g < perms.size(); ++g) {
+      if ((banned & class_bits[g]) != 0) continue;
+      stack.back().next_gate = g + 1;
+      std::uint8_t* next = scratch.data() + (depth + 1) * width;
+      const perm::Permutation& p = *perms[g];
+      for (std::size_t s = 0; s < width; ++s) {
+        next[s] = static_cast<std::uint8_t>(p.apply(current[s] + 1) - 1);
+      }
+      stack.emplace_back();
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+  return count;
+}
+
+}  // namespace qsyn::synth

@@ -1,0 +1,86 @@
+// qsyn/synth/mce.h
+//
+// The paper's Minimum_Cost_Expressing (MCE) algorithm: given a reversible
+// circuit g (a permutation of the 2^n binary patterns), produce a minimal
+// quantum-cost cascade d[0]*d[1]*...*d[t] with d[0] a NOT-gate layer and
+// d[1..t] library gates (Theorem 3).
+//
+// The NOT layer comes from Theorem 2: H = ∪_{a∈N} a*G decomposes every
+// reversible circuit into a (cost-0) NOT prefix a = d[0] and a member of G,
+// which the FMCF closure then locates level by level; the witness cascade is
+// reconstructed by the paper's back-walk over the B[j] frontiers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gates/cascade.h"
+#include "gates/library.h"
+#include "perm/permutation.h"
+#include "synth/fmcf.h"
+
+namespace qsyn::synth {
+
+/// One synthesized realization of a reversible circuit.
+struct SynthesisResult {
+  /// The complete circuit: NOT prefix followed by the library cascade.
+  gates::Cascade circuit;
+  /// d[0]: the NOT gates (possibly empty).
+  std::vector<gates::Gate> not_prefix;
+  /// d[1..t]: the controlled-V / controlled-V+ / Feynman part.
+  gates::Cascade core;
+  /// t — the minimal number of 2-qubit library gates (NOTs are free).
+  unsigned cost = 0;
+
+  SynthesisResult() : circuit(2), core(2) {}
+};
+
+/// Minimum-cost expressing over one gate library. Reuses one FMCF closure
+/// across calls, deepening it on demand up to `max_cost` (the paper's cb).
+class McExpressor {
+ public:
+  explicit McExpressor(const gates::GateLibrary& library,
+                       unsigned max_cost = 7);
+
+  /// Synthesizes a minimal realization, or nullopt when the minimal cost
+  /// exceeds max_cost (the paper's flag = 0 case). The target permutation
+  /// acts on {1..2^n} in binary-value order (label 1 = |0..0>); smaller
+  /// degrees are padded with fixed points.
+  [[nodiscard]] std::optional<SynthesisResult> synthesize(
+      const perm::Permutation& target);
+
+  /// All distinct minimal implementations, one per closure element of B[t]
+  /// restricting to the target (this is the multiplicity the paper reports:
+  /// 2 implementations of Peres, 4 of Toffoli). Empty when cost > max_cost.
+  [[nodiscard]] std::vector<SynthesisResult> implementations(
+      const perm::Permutation& target);
+
+  /// Exhaustively counts the *gate sequences* of length exactly `cost` that
+  /// realize the target (reasonable cascades only; NOT prefix excluded).
+  /// Exponential in `cost`; guarded to cost <= 7.
+  [[nodiscard]] std::size_t count_sequences(const perm::Permutation& target,
+                                            unsigned cost);
+
+  /// Minimal quantum cost of the target, or nullopt when above max_cost.
+  [[nodiscard]] std::optional<unsigned> minimal_cost(
+      const perm::Permutation& target);
+
+  [[nodiscard]] const FmcfEnumerator& enumerator() const { return fmcf_; }
+  [[nodiscard]] unsigned max_cost() const { return max_cost_; }
+
+ private:
+  struct Stripped {
+    std::vector<gates::Gate> not_prefix;
+    perm::Permutation core_target;  // fixes label 1
+  };
+  [[nodiscard]] Stripped strip_not_coset(const perm::Permutation& target) const;
+  [[nodiscard]] std::optional<GEntry> locate(const perm::Permutation& core);
+  [[nodiscard]] SynthesisResult assemble(const Stripped& stripped,
+                                         const gates::Cascade& core) const;
+
+  const gates::GateLibrary* library_;
+  unsigned max_cost_;
+  FmcfEnumerator fmcf_;
+};
+
+}  // namespace qsyn::synth

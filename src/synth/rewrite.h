@@ -1,0 +1,40 @@
+// qsyn/synth/rewrite.h
+//
+// Exact peephole simplification of gate cascades.
+//
+// Rewrites preserve the cascade's action on the *full* 4^n quaternary
+// pattern space (every library gate and NOT is a bijection there), so they
+// are valid in any context — including probabilistic circuits with mixed
+// outputs. Rules:
+//
+//   R1  g * g^{-1}            -> (drop)     adjacent inverse pairs
+//       (V_xy V+_xy, F_xy F_xy, N_x N_x)
+//   R2  V_xy V_xy V_xy        -> V+_xy      (V has order 4; V^3 = V+ exactly,
+//       V+_xy^3               -> V_xy        also as a don't-care function)
+//   R3  canonical reordering of adjacent *commuting* gates (commutation
+//       decided semantically on the full pattern space), which exposes more
+//       R1/R2 matches across commuting blocks.
+//
+// simplify() iterates to a fixpoint; the result never has more gates and
+// always has exactly the same full-domain permutation.
+#pragma once
+
+#include "gates/cascade.h"
+#include "gates/gate.h"
+
+namespace qsyn::synth {
+
+/// True iff the two gates commute as functions on the full 4^n pattern
+/// space of `wires` wires (the don't-care semantics included).
+[[nodiscard]] bool gates_commute(const gates::Gate& a, const gates::Gate& b,
+                                 std::size_t wires);
+
+/// True iff the cascades compute the same function on the full 4^n pattern
+/// space.
+[[nodiscard]] bool same_full_semantics(const gates::Cascade& a,
+                                       const gates::Cascade& b);
+
+/// Fixpoint peephole simplification (rules R1-R3 above).
+[[nodiscard]] gates::Cascade simplify(const gates::Cascade& cascade);
+
+}  // namespace qsyn::synth

@@ -1,0 +1,92 @@
+#include "synth/specs.h"
+
+#include "common/error.h"
+
+namespace qsyn::synth {
+
+perm::Permutation toffoli_perm() {
+  return perm::Permutation::from_cycles("(7,8)", 8);
+}
+
+perm::Permutation peres_perm() {
+  return perm::Permutation::from_cycles("(5,7,6,8)", 8);
+}
+
+perm::Permutation g2_perm() {
+  return perm::Permutation::from_cycles("(5,8,7,6)", 8);
+}
+
+perm::Permutation g3_perm() {
+  return perm::Permutation::from_cycles("(3,4)(5,7)(6,8)", 8);
+}
+
+perm::Permutation g4_perm() {
+  return perm::Permutation::from_cycles("(3,4)(5,8)(6,7)", 8);
+}
+
+perm::Permutation fredkin_perm() {
+  return perm::Permutation::from_cycles("(6,7)", 8);
+}
+
+perm::Permutation swap_bc_perm() {
+  // (A,B,C) -> (A,C,B): 010 <-> 001 and 110 <-> 101.
+  return perm::Permutation::from_cycles("(2,3)(6,7)", 8);
+}
+
+perm::Permutation perm_from_truth(
+    std::size_t wires, const std::function<std::uint32_t(std::uint32_t)>& f) {
+  const std::uint32_t count = 1u << wires;
+  std::vector<std::uint32_t> images(count);
+  for (std::uint32_t bits = 0; bits < count; ++bits) {
+    const std::uint32_t out = f(bits);
+    QSYN_CHECK(out < count, "truth function output out of range");
+    images[bits] = out + 1;
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+gates::Cascade peres_cascade_fig4() {
+  return gates::Cascade::parse("VCB*FBA*VCA*V+CB", 3);
+}
+
+gates::Cascade peres_cascade_fig8() {
+  return gates::Cascade::parse("V+CB*FBA*V+CA*VCB", 3);
+}
+
+gates::Cascade g2_cascade_fig5() {
+  return gates::Cascade::parse("V+BC*FCA*VBA*VBC", 3);
+}
+
+gates::Cascade g3_cascade_fig6() {
+  return gates::Cascade::parse("VCB*FBA*V+CA*VCB", 3);
+}
+
+gates::Cascade g4_cascade_fig7() {
+  return gates::Cascade::parse("VCB*FBA*VCA*VCB", 3);
+}
+
+std::vector<gates::Cascade> toffoli_cascades_fig9() {
+  return {
+      gates::Cascade::parse("FBA*V+CB*FBA*VCA*VCB", 3),   // (a)
+      gates::Cascade::parse("FBA*VCB*FBA*V+CA*V+CB", 3),  // (b)
+      gates::Cascade::parse("FAB*V+CA*FAB*VCA*VCB", 3),   // (c)
+      gates::Cascade::parse("FAB*VCA*FAB*V+CA*V+CB", 3),  // (d)
+  };
+}
+
+std::vector<gates::Cascade> not_layer_cascades(std::size_t wires) {
+  std::vector<gates::Cascade> out;
+  const std::uint32_t count = 1u << wires;
+  for (std::uint32_t mask = 0; mask < count; ++mask) {
+    gates::Cascade c(wires);
+    for (std::size_t w = 0; w < wires; ++w) {
+      if ((mask >> (wires - 1 - w) & 1u) != 0) {
+        c.append(gates::Gate::not_gate(w));
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace qsyn::synth

@@ -1,0 +1,67 @@
+// qsyn/synth/specs.h
+//
+// Named reversible circuits from the paper and the surrounding literature,
+// as permutations of the 8 binary labels (1 = |000>, ..., 8 = |111>), plus
+// the paper's printed cascade realizations (Figures 4-9).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gates/cascade.h"
+#include "perm/permutation.h"
+
+namespace qsyn::synth {
+
+/// Toffoli (controlled-controlled-NOT, target C): (7,8).
+[[nodiscard]] perm::Permutation toffoli_perm();
+
+/// Peres gate g1 = (5,7,6,8): P=A, Q=B^A, R=C^AB (Figure 4).
+[[nodiscard]] perm::Permutation peres_perm();
+
+/// g2 = (5,8,7,6): P=A, Q=B^AC', R=C^A (Figure 5).
+[[nodiscard]] perm::Permutation g2_perm();
+
+/// g3 = (3,4)(5,7)(6,8): P=A, Q=B^A, R=C^A'B (Figure 6).
+[[nodiscard]] perm::Permutation g3_perm();
+
+/// g4 = (3,4)(5,8)(6,7): P=A, Q=B^A, R=C'^A'B' (Figure 7).
+[[nodiscard]] perm::Permutation g4_perm();
+
+/// Fredkin (controlled swap of B and C): (6,7).
+[[nodiscard]] perm::Permutation fredkin_perm();
+
+/// Unconditional swap of wires B and C.
+[[nodiscard]] perm::Permutation swap_bc_perm();
+
+/// Builds a permutation of {1..2^wires} from a bitwise truth function
+/// mapping input bits to output bits (must be a bijection; checked).
+[[nodiscard]] perm::Permutation perm_from_truth(
+    std::size_t wires, const std::function<std::uint32_t(std::uint32_t)>& f);
+
+// --- the paper's printed cascades (all on 3 wires) --------------------------
+
+/// Figure 4: Peres = VCB*FBA*VCA*V+CB.
+[[nodiscard]] gates::Cascade peres_cascade_fig4();
+
+/// Figure 8: the Hermitian-adjoint Peres implementation V+CB*FBA*V+CA*VCB.
+[[nodiscard]] gates::Cascade peres_cascade_fig8();
+
+/// Figure 5: g2 = V+BC*FCA*VBA*VBC.
+[[nodiscard]] gates::Cascade g2_cascade_fig5();
+
+/// Figure 6: g3 = VCB*FBA*V+CA*VCB.
+[[nodiscard]] gates::Cascade g3_cascade_fig6();
+
+/// Figure 7: g4 = VCB*FBA*VCA*VCB.
+[[nodiscard]] gates::Cascade g4_cascade_fig7();
+
+/// Figure 9 (a)-(d): the four cost-5 Toffoli implementations.
+[[nodiscard]] std::vector<gates::Cascade> toffoli_cascades_fig9();
+
+/// The six 3-qubit NOT-layer representatives... (all 8 NOT-mask circuits,
+/// including the empty one), as cascades of NOT gates.
+[[nodiscard]] std::vector<gates::Cascade> not_layer_cascades(std::size_t wires);
+
+}  // namespace qsyn::synth

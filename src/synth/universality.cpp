@@ -1,0 +1,56 @@
+#include "synth/universality.h"
+
+#include "gates/cascade.h"
+#include "gates/gate.h"
+
+namespace qsyn::synth {
+
+namespace {
+
+perm::Permutation binary_perm_of(const gates::Gate& g) {
+  gates::Cascade c(3);
+  c.append(g);
+  return c.to_binary_permutation();
+}
+
+}  // namespace
+
+std::vector<perm::Permutation> feynman_binary_perms() {
+  std::vector<perm::Permutation> out;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      out.push_back(binary_perm_of(gates::Gate::feynman(a, b)));
+    }
+  }
+  return out;
+}
+
+std::vector<perm::Permutation> not_binary_perms() {
+  std::vector<perm::Permutation> out;
+  for (std::size_t w = 0; w < 3; ++w) {
+    out.push_back(binary_perm_of(gates::Gate::not_gate(w)));
+  }
+  return out;
+}
+
+perm::PermGroup group_with_not_and_feynman(const perm::Permutation& g) {
+  std::vector<perm::Permutation> gens = feynman_binary_perms();
+  const std::vector<perm::Permutation> nots = not_binary_perms();
+  gens.insert(gens.end(), nots.begin(), nots.end());
+  gens.push_back(g.extended_to(8));
+  return perm::PermGroup(gens);
+}
+
+bool is_universal_with_not_and_feynman(const perm::Permutation& g) {
+  return group_with_not_and_feynman(g).order() == 40320;
+}
+
+perm::PermGroup group_with_feynman(
+    const std::vector<perm::Permutation>& extras) {
+  std::vector<perm::Permutation> gens = feynman_binary_perms();
+  for (const auto& e : extras) gens.push_back(e.extended_to(8));
+  return perm::PermGroup(gens);
+}
+
+}  // namespace qsyn::synth

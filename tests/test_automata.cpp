@@ -1,0 +1,258 @@
+// Unit tests for qsyn/automata: measurement semantics, probabilistic specs,
+// minimal-cost probabilistic synthesis, and the controlled QRNG (Section 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automata/measurement.h"
+#include "common/error.h"
+#include "automata/prob_spec.h"
+#include "automata/prob_synth.h"
+#include "automata/qrng.h"
+#include "common/rng.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+#include "sim/state_vector.h"
+
+namespace qsyn::automata {
+namespace {
+
+using mvl::Pattern;
+
+// --- measurement ----------------------------------------------------------------
+
+TEST(Measurement, BinaryPatternIsDeterministic) {
+  const Pattern p = Pattern::parse("1,0,1");
+  EXPECT_DOUBLE_EQ(outcome_probability(p, 0b101), 1.0);
+  EXPECT_DOUBLE_EQ(outcome_probability(p, 0b100), 0.0);
+}
+
+TEST(Measurement, MixedWiresAreFairCoins) {
+  const Pattern p = Pattern::parse("1,V0,0");
+  EXPECT_DOUBLE_EQ(outcome_probability(p, 0b100), 0.5);
+  EXPECT_DOUBLE_EQ(outcome_probability(p, 0b110), 0.5);
+  EXPECT_DOUBLE_EQ(outcome_probability(p, 0b000), 0.0);
+}
+
+TEST(Measurement, DistributionSumsToOne) {
+  for (const char* text : {"1,V0,V1", "V0,V0,V0", "0,1,0", "V1,1,V0"}) {
+    double total = 0.0;
+    for (const double p : outcome_distribution(Pattern::parse(text))) {
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << text;
+  }
+}
+
+TEST(Measurement, MatchesHilbertSpaceProbabilities) {
+  // The factorized MV distribution equals the simulator's state distribution.
+  for (const char* text : {"1,V0,0", "V1,V0,1", "0,V1,V1"}) {
+    const Pattern p = Pattern::parse(text);
+    const auto mv = outcome_distribution(p);
+    const auto hilbert = sim::StateVector::from_pattern(p).distribution();
+    ASSERT_EQ(mv.size(), hilbert.size());
+    for (std::size_t i = 0; i < mv.size(); ++i) {
+      EXPECT_NEAR(mv[i], hilbert[i], 1e-12) << text << " outcome " << i;
+    }
+  }
+}
+
+TEST(Measurement, SamplingMatchesDistribution) {
+  const Pattern p = Pattern::parse("1,V0,V1");
+  Rng rng(42);
+  std::vector<int> hist(8, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hist[sample_measurement(p, rng)];
+  const auto dist = outcome_distribution(p);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(hist[i] / static_cast<double>(n), dist[i], 0.02);
+  }
+}
+
+TEST(Measurement, OutcomeRangeChecked) {
+  EXPECT_THROW((void)outcome_probability(Pattern::parse("0,0"), 4),
+               qsyn::LogicError);
+}
+
+// --- specs ----------------------------------------------------------------------
+
+TEST(ExactProbSpec, ValidatesShape) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(2);
+  // Identity on binary patterns: realizable.
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    outputs.push_back(Pattern::from_binary(2, i));
+  }
+  EXPECT_TRUE(ExactProbSpec(2, outputs).is_realizable_shape(domain));
+  // Two inputs mapping to one output: not injective.
+  outputs[1] = outputs[0];
+  EXPECT_FALSE(ExactProbSpec(2, outputs).is_realizable_shape(domain));
+}
+
+TEST(ExactProbSpec, RejectsOutOfDomainOutputs) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(2);
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    outputs.push_back(Pattern::from_binary(2, i));
+  }
+  outputs[0] = Pattern::parse("V0,0");  // contains no 1: outside the domain
+  EXPECT_FALSE(ExactProbSpec(2, outputs).is_realizable_shape(domain));
+}
+
+TEST(ExactProbSpec, SizeValidation) {
+  EXPECT_THROW(ExactProbSpec(2, {Pattern(2)}), qsyn::LogicError);
+}
+
+TEST(BehavioralProbSpec, AcceptRules) {
+  const BehavioralProbSpec spec(
+      2, {{WireBehavior::kZero, WireBehavior::kZero},
+          {WireBehavior::kZero, WireBehavior::kOne},
+          {WireBehavior::kOne, WireBehavior::kCoin},
+          {WireBehavior::kOne, WireBehavior::kCoin}});
+  EXPECT_TRUE(spec.accepts(2, Pattern::parse("1,V0")));
+  EXPECT_TRUE(spec.accepts(2, Pattern::parse("1,V1")));
+  EXPECT_FALSE(spec.accepts(2, Pattern::parse("1,0")));
+  EXPECT_FALSE(spec.accepts(0, Pattern::parse("0,1")));
+  EXPECT_TRUE(spec.accepts(0, Pattern::parse("0,0")));
+}
+
+TEST(BehavioralProbSpec, TargetDistribution) {
+  const BehavioralProbSpec spec(
+      2, {{WireBehavior::kZero, WireBehavior::kCoin},
+          {WireBehavior::kZero, WireBehavior::kOne},
+          {WireBehavior::kCoin, WireBehavior::kCoin},
+          {WireBehavior::kOne, WireBehavior::kOne}});
+  const auto d0 = spec.target_distribution(0);
+  EXPECT_DOUBLE_EQ(d0[0b00], 0.5);
+  EXPECT_DOUBLE_EQ(d0[0b01], 0.5);
+  EXPECT_DOUBLE_EQ(d0[0b10], 0.0);
+  const auto d2 = spec.target_distribution(2);
+  for (const double p : d2) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+// --- synthesis ------------------------------------------------------------------
+
+class ProbSynth3 : public ::testing::Test {
+ protected:
+  static const gates::GateLibrary& library() {
+    static const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+    static const gates::GateLibrary lib(domain);
+    return lib;
+  }
+};
+
+TEST_F(ProbSynth3, IdentitySpecCostsZero) {
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    outputs.push_back(Pattern::from_binary(3, i));
+  }
+  const ProbSynthesizer synthesizer(library());
+  const auto c = synthesizer.synthesize(ExactProbSpec(3, outputs));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 0u);
+}
+
+TEST_F(ProbSynth3, SingleVGateSpec) {
+  // The truth table of VBA itself must synthesize at cost 1.
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    outputs.push_back(
+        gates::Gate::ctrl_v(1, 0).apply(Pattern::from_binary(3, i)));
+  }
+  const ProbSynthesizer synthesizer(library());
+  const auto c = synthesizer.synthesize(ExactProbSpec(3, outputs));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 1u);
+  EXPECT_EQ(c->gate(0), gates::Gate::ctrl_v(1, 0));
+}
+
+TEST_F(ProbSynth3, ExactSynthesisMatchesSpecOnAllInputs) {
+  // A deterministic-but-nonclassical spec: Feynman then V.
+  const gates::Cascade reference = gates::Cascade::parse("FBA*VCB", 3);
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    outputs.push_back(reference.apply(Pattern::from_binary(3, i)));
+  }
+  const ProbSynthesizer synthesizer(library());
+  const auto c = synthesizer.synthesize(ExactProbSpec(3, outputs));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_LE(c->size(), 2u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(c->apply(Pattern::from_binary(3, i)), outputs[i]);
+  }
+}
+
+TEST_F(ProbSynth3, UnrealizableSpecReturnsNullopt) {
+  // Map every input to itself except two inputs swapped into the same
+  // output pattern — not injective, hence unrealizable.
+  std::vector<Pattern> outputs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    outputs.push_back(Pattern::from_binary(3, 0));
+  }
+  const ProbSynthesizer synthesizer(library());
+  EXPECT_FALSE(synthesizer.synthesize(ExactProbSpec(3, outputs)).has_value());
+}
+
+TEST_F(ProbSynth3, BehavioralSpecFindsMinimalCoin) {
+  // One coin on wire C when A = 1: a single controlled-V away.
+  const auto spec = controlled_coin_spec(3);
+  const ProbSynthesizer synthesizer(library());
+  const auto c = synthesizer.synthesize(spec);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 1u);
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    EXPECT_TRUE(spec.accepts(input, c->apply(Pattern::from_binary(3, input))));
+  }
+}
+
+TEST_F(ProbSynth3, MaxCostGuard) {
+  EXPECT_THROW(ProbSynthesizer(library(), 10), qsyn::LogicError);
+}
+
+// --- controlled QRNG --------------------------------------------------------------
+
+TEST_F(ProbSynth3, QrngDistributionIsControlled) {
+  const auto qrng =
+      ControlledQrng::synthesize(library(), controlled_coin_spec(3));
+  ASSERT_TRUE(qrng.has_value());
+  // Input 000: deterministic passthrough.
+  const auto d0 = qrng->distribution(0b000);
+  EXPECT_DOUBLE_EQ(d0[0b000], 1.0);
+  // Input 100: wire C is a fair coin, A stays 1, B stays 0.
+  const auto d4 = qrng->distribution(0b100);
+  EXPECT_DOUBLE_EQ(d4[0b100], 0.5);
+  EXPECT_DOUBLE_EQ(d4[0b101], 0.5);
+  EXPECT_DOUBLE_EQ(d4[0b000], 0.0);
+}
+
+TEST_F(ProbSynth3, QrngHistogramMatchesDistribution) {
+  const auto qrng =
+      ControlledQrng::synthesize(library(), controlled_coin_spec(3));
+  ASSERT_TRUE(qrng.has_value());
+  Rng rng(7);
+  const std::size_t n = 20000;
+  const auto hist = qrng->histogram(0b110, n, rng);
+  const auto dist = qrng->distribution(0b110);
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_NEAR(hist[i] / static_cast<double>(n), dist[i], 0.02);
+  }
+}
+
+TEST(Qrng, TwoWireCoin) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(2);
+  const gates::GateLibrary library(domain);
+  const auto qrng = ControlledQrng::synthesize(library,
+                                               controlled_coin_spec(2));
+  ASSERT_TRUE(qrng.has_value());
+  EXPECT_EQ(qrng->circuit().size(), 1u);
+  const auto d = qrng->distribution(0b10);
+  EXPECT_DOUBLE_EQ(d[0b10], 0.5);
+  EXPECT_DOUBLE_EQ(d[0b11], 0.5);
+}
+
+TEST(Qrng, SpecGuards) {
+  EXPECT_THROW(controlled_coin_spec(1), qsyn::LogicError);
+}
+
+}  // namespace
+}  // namespace qsyn::automata

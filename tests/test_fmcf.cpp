@@ -1,0 +1,310 @@
+// Unit tests for the FMCF breadth-first closure (Section 3 / Table 2),
+// including the exact reproduction of the paper's circuit counts and the
+// structural claims about G[4].
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+#include "sim/cross_check.h"
+#include "synth/flat_perm_store.h"
+#include "synth/fmcf.h"
+#include "synth/specs.h"
+
+namespace qsyn::synth {
+namespace {
+
+// --- FlatPermStore --------------------------------------------------------------
+
+TEST(FlatPermStore, PushAndRead) {
+  FlatPermStore store(4);
+  store.push_back(perm::Permutation::from_cycles("(1,2)", 4));
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.permutation(0).to_cycle_string(), "(1,2)");
+  EXPECT_EQ(store.width(), 4u);
+}
+
+TEST(FlatPermStore, SortUnique) {
+  FlatPermStore store(3);
+  const auto a = perm::Permutation::from_cycles("(1,2)", 3);
+  const auto b = perm::Permutation::from_cycles("(2,3)", 3);
+  store.push_back(b);
+  store.push_back(a);
+  store.push_back(b);
+  store.sort_unique();
+  ASSERT_EQ(store.size(), 2u);
+  // Byte rows are 0-based image tables: (2,3) = [0,2,1] < (1,2) = [1,0,2].
+  EXPECT_EQ(store.permutation(0), b);
+  EXPECT_EQ(store.permutation(1), a);
+}
+
+TEST(FlatPermStore, SubtractAndMerge) {
+  FlatPermStore a(3);
+  FlatPermStore b(3);
+  const auto p1 = perm::Permutation::identity(3);
+  const auto p2 = perm::Permutation::from_cycles("(1,2)", 3);
+  const auto p3 = perm::Permutation::from_cycles("(1,3)", 3);
+  a.push_back(p1);
+  a.push_back(p2);
+  a.sort_unique();
+  b.push_back(p2);
+  b.push_back(p3);
+  b.sort_unique();
+  a.subtract_sorted(b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.permutation(0), p1);
+  a.merge_sorted(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.contains_sorted(b.row(0)));
+}
+
+TEST(FlatPermStore, ContainsSorted) {
+  FlatPermStore store(3);
+  for (const char* cycles : {"()", "(1,2)", "(1,2,3)", "(1,3)"}) {
+    store.push_back(perm::Permutation::from_cycles(cycles, 3));
+  }
+  store.sort_unique();
+  FlatPermStore probe(3);
+  probe.push_back(perm::Permutation::from_cycles("(1,3)", 3));
+  probe.push_back(perm::Permutation::from_cycles("(2,3)", 3));
+  EXPECT_TRUE(store.contains_sorted(probe.row(0)));
+  EXPECT_FALSE(store.contains_sorted(probe.row(1)));
+}
+
+// --- the enumeration -------------------------------------------------------------
+
+class Fmcf3 : public ::testing::Test {
+ protected:
+  static const FmcfEnumerator& shared() {
+    // One closure to cb = 7, shared across tests (about half a second).
+    static const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+    static const gates::GateLibrary library(domain);
+    static FmcfEnumerator enumerator = [] {
+      FmcfEnumerator e(library, FmcfOptions{});
+      e.run_to(7);
+      return e;
+    }();
+    return enumerator;
+  }
+};
+
+TEST_F(Fmcf3, Table2CircuitCounts) {
+  // |G[k]| for k = 1..7. The paper prints 6, 30, 52, 84, 156, 398, 540;
+  // exhaustive enumeration corrects k = 2 to 24 and k = 3 to 51 (see
+  // EXPERIMENTS.md) and matches the paper everywhere else.
+  const auto& stats = shared().stats();
+  ASSERT_EQ(stats.size(), 7u);
+  const std::size_t expected_g[7] = {6, 24, 51, 84, 156, 398, 540};
+  for (std::size_t k = 0; k < 7; ++k) {
+    EXPECT_EQ(stats[k].g_new, expected_g[k]) << "cost " << (k + 1);
+  }
+}
+
+TEST_F(Fmcf3, PreG2IsThirty) {
+  // |pre_G[2]| = 30 = the paper's printed |G[2]|: the six V*V = CNOT
+  // duplicates are exactly the gap between pre_G[2] and G[2].
+  const auto& stats = shared().stats();
+  EXPECT_EQ(stats[1].pre_g, 30u);
+  EXPECT_EQ(stats[1].g_new, 24u);
+}
+
+TEST_F(Fmcf3, FrontierSizesGrow) {
+  const auto& stats = shared().stats();
+  EXPECT_EQ(stats[0].frontier, 18u);  // |B[1]| = |L|
+  for (std::size_t k = 1; k < stats.size(); ++k) {
+    EXPECT_GT(stats[k].frontier, stats[k - 1].frontier);
+  }
+  EXPECT_EQ(stats[6].seen, shared().seen_count());
+}
+
+TEST_F(Fmcf3, GZeroIsIdentity) {
+  const auto g0 = shared().g_set(0);
+  ASSERT_EQ(g0.size(), 1u);
+  EXPECT_TRUE(g0[0].is_identity());
+}
+
+TEST_F(Fmcf3, G1IsTheSixFeynmanGates) {
+  const auto g1 = shared().g_set(1);
+  ASSERT_EQ(g1.size(), 6u);
+  std::set<perm::Permutation> expected;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      gates::Cascade c(3);
+      c.append(gates::Gate::feynman(a, b));
+      expected.insert(c.to_binary_permutation());
+    }
+  }
+  EXPECT_EQ(std::set<perm::Permutation>(g1.begin(), g1.end()), expected);
+}
+
+TEST_F(Fmcf3, AllGSetMembersFixLabelOne) {
+  // Members of G fix the all-zero pattern (no NOT gates in L) — the fact
+  // behind Theorem 2's coset decomposition.
+  for (unsigned k = 0; k <= 7; ++k) {
+    for (const auto& g : shared().g_set(k)) {
+      EXPECT_EQ(g.apply(1), 1u);
+    }
+  }
+}
+
+TEST_F(Fmcf3, G4SplitsInto60FeynmanAnd24PeresLike) {
+  // Paper Section 5: 60 circuits of four Feynman gates and 24 circuits of
+  // three controlled gates plus one Feynman gate.
+  const auto g4 = shared().g_set(4);
+  ASSERT_EQ(g4.size(), 84u);
+  std::size_t feynman_only = 0;
+  std::size_t peres_like = 0;
+  for (const auto& g : g4) {
+    const auto entry = shared().find(g);
+    ASSERT_TRUE(entry.has_value());
+    ASSERT_EQ(entry->cost, 4u);
+    const gates::Cascade witness = shared().witness(*entry);
+    std::size_t v_gates = 0;
+    for (const auto& gate : witness.sequence()) {
+      if (gate.kind() != gates::GateKind::kFeynman) ++v_gates;
+    }
+    if (v_gates == 0) {
+      ++feynman_only;
+    } else if (v_gates == 3) {
+      ++peres_like;
+    } else {
+      ADD_FAILURE() << "unexpected witness composition: "
+                    << witness.to_string();
+    }
+  }
+  EXPECT_EQ(feynman_only, 60u);
+  EXPECT_EQ(peres_like, 24u);
+}
+
+TEST_F(Fmcf3, PeresAndCompanionsHaveCostFour) {
+  for (const auto& target : {peres_perm(), g2_perm(), g3_perm(), g4_perm()}) {
+    const auto entry = shared().find(target);
+    ASSERT_TRUE(entry.has_value()) << target.to_cycle_string();
+    EXPECT_EQ(entry->cost, 4u);
+  }
+}
+
+TEST_F(Fmcf3, ToffoliHasCostFive) {
+  const auto toffoli = shared().find(toffoli_perm());
+  ASSERT_TRUE(toffoli.has_value());
+  EXPECT_EQ(toffoli->cost, 5u);
+}
+
+TEST_F(Fmcf3, FredkinCostsSevenOverThePaperLibrary) {
+  // A notable exact result of the framework: the closure is complete over
+  // reasonable cascades, and Fredkin first appears in G[7]. The well-known
+  // 5-gate Fredkin of Smolin & DiVincenzo [15] uses 2-qubit gates beyond
+  // the paper's {CV, CV+, CNOT} library: a meet-in-the-middle search over
+  // exact unitaries (bench_ablations, A3) shows the minimum over this
+  // library is 7 even without the binary-control constraint.
+  const auto fredkin = shared().find(fredkin_perm());
+  ASSERT_TRUE(fredkin.has_value());
+  EXPECT_EQ(fredkin->cost, 7u);
+}
+
+TEST_F(Fmcf3, SwapHasCostThree) {
+  const auto entry = shared().find(swap_bc_perm());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->cost, 3u);
+}
+
+TEST_F(Fmcf3, WitnessesAreReasonableMinimalAndCorrect) {
+  // Every G[k] member's witness must be a reasonable cascade of exactly k
+  // gates realizing that permutation (Theorem 1 in executable form).
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  for (unsigned k = 1; k <= 5; ++k) {
+    for (const auto& g : shared().g_set(k)) {
+      const auto entry = shared().find(g);
+      ASSERT_TRUE(entry.has_value());
+      const gates::Cascade witness = shared().witness(*entry);
+      EXPECT_EQ(witness.size(), k);
+      EXPECT_TRUE(witness.is_reasonable(domain));
+      EXPECT_EQ(witness.to_binary_permutation(), g);
+    }
+  }
+}
+
+TEST_F(Fmcf3, WitnessesAreExactInHilbertSpace) {
+  // Spot-check cost-4 and cost-5 witnesses against full unitaries.
+  for (unsigned k = 4; k <= 5; ++k) {
+    std::size_t checked = 0;
+    for (const auto& g : shared().g_set(k)) {
+      if (++checked > 10) break;
+      const auto entry = shared().find(g);
+      const gates::Cascade witness = shared().witness(*entry);
+      EXPECT_TRUE(sim::realizes_permutation(witness, g))
+          << witness.to_string();
+    }
+  }
+}
+
+TEST_F(Fmcf3, PeresHasTwoImplementationsToffoliFour) {
+  // Section 5: "our synthesis algorithm found two implementations for
+  // Peres" and four for Toffoli (Figures 4/8 and 9).
+  EXPECT_EQ(shared().implementations(peres_perm(), 4).size(), 2u);
+  EXPECT_EQ(shared().implementations(toffoli_perm(), 5).size(), 4u);
+}
+
+TEST_F(Fmcf3, FindRejectsUnreachedCircuits) {
+  // A 3-cycle on binary patterns needing more than 7 gates... pick one not
+  // in any computed G set: a random odd permutation moving label 1 is not in
+  // G at all (G fixes label 1).
+  const auto moved = perm::Permutation::from_cycles("(1,2)", 8);
+  EXPECT_FALSE(shared().find(moved).has_value());
+}
+
+TEST(FmcfOptions, CountingModeMatchesWitnessMode) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions lean;
+  lean.track_witnesses = false;
+  FmcfEnumerator counting(library, lean);
+  counting.run_to(5);
+  const std::size_t expected_g[5] = {6, 24, 51, 84, 156};
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(counting.stats()[k].g_new, expected_g[k]);
+  }
+  EXPECT_THROW((void)counting.witness(GEntry{1, 0}), qsyn::LogicError);
+}
+
+TEST(FmcfOptions, SmallChunksGiveSameCounts) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions tiny;
+  tiny.chunk_rows = 64;  // force many flushes
+  FmcfEnumerator e(library, tiny);
+  e.run_to(4);
+  EXPECT_EQ(e.stats()[3].g_new, 84u);
+  EXPECT_EQ(e.stats()[3].frontier, 5364u);
+}
+
+TEST(FmcfAblation, NoBannedSetsInflatesClosure) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions unpruned;
+  unpruned.use_banned_sets = false;
+  FmcfEnumerator free_walk(library, unpruned);
+  free_walk.run_to(3);
+  FmcfEnumerator pruned(library);
+  pruned.run_to(3);
+  EXPECT_GT(free_walk.stats()[2].frontier, pruned.stats()[2].frontier);
+}
+
+TEST(Fmcf2Wire, TwoQubitClosureRuns) {
+  // The 2-wire reduced domain (8 labels, 6 gates): CNOT circuits on 2 wires
+  // reach exactly the 6 invertible linear maps of GL(2,2) at costs 0..3.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(2);
+  const gates::GateLibrary library(domain);
+  FmcfEnumerator e(library);
+  e.run_to(4);
+  std::size_t total_g = 1;  // identity
+  for (unsigned k = 1; k <= 4; ++k) total_g += e.stats()[k - 1].g_new;
+  EXPECT_EQ(total_g, 6u);  // |GL(2,2)| = 6
+  EXPECT_EQ(e.stats()[0].g_new, 2u);  // FAB, FBA
+}
+
+}  // namespace
+}  // namespace qsyn::synth

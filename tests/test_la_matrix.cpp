@@ -1,0 +1,250 @@
+// Unit tests for qsyn/la: the dense complex matrix substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "la/gate_constants.h"
+#include "la/matrix.h"
+
+namespace qsyn::la {
+namespace {
+
+const Complex kI(0.0, 1.0);
+
+TEST(Matrix, ZeroConstruction) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), Complex(0.0, 0.0));
+    }
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), Complex(2.0, 0.0));
+  EXPECT_EQ(m(1, 0), Complex(3.0, 0.0));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), LogicError);
+}
+
+TEST(Matrix, IdentityAndPredicates) {
+  const Matrix id = Matrix::identity(4);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.is_unitary());
+  EXPECT_TRUE(id.is_hermitian());
+  EXPECT_TRUE(id.is_permutation());
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), LogicError);
+  EXPECT_THROW(m.at(0, 2), LogicError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(sum(r, c), Complex(5.0, 0.0));
+    }
+  }
+  EXPECT_TRUE((sum - b).approx_equal(a));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, LogicError);
+  EXPECT_THROW((void)(Matrix(2, 3) * Matrix(2, 3)), LogicError);
+}
+
+TEST(Matrix, ScalarMultiplication) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix b = a * kI;
+  EXPECT_EQ(b(0, 0), kI);
+  const Matrix c = kI * a;
+  EXPECT_TRUE(b.approx_equal(c));
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab(0, 0), Complex(19.0, 0.0));
+  EXPECT_EQ(ab(0, 1), Complex(22.0, 0.0));
+  EXPECT_EQ(ab(1, 0), Complex(43.0, 0.0));
+  EXPECT_EQ(ab(1, 1), Complex(50.0, 0.0));
+}
+
+TEST(Matrix, RectangularProductShapes) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 5);
+  const Matrix ab = a * b;
+  EXPECT_EQ(ab.rows(), 2u);
+  EXPECT_EQ(ab.cols(), 5u);
+}
+
+TEST(Matrix, TransposeAdjointConjugate) {
+  const Matrix m{{Complex(1.0, 1.0), Complex(2.0, 0.0)},
+                 {Complex(0.0, 3.0), Complex(4.0, -1.0)}};
+  EXPECT_EQ(m.transpose()(0, 1), Complex(0.0, 3.0));
+  EXPECT_EQ(m.conjugate()(0, 0), Complex(1.0, -1.0));
+  EXPECT_EQ(m.adjoint()(1, 0), Complex(2.0, 0.0));
+  EXPECT_EQ(m.adjoint()(0, 1), Complex(0.0, -3.0));
+  EXPECT_TRUE(m.adjoint().approx_equal(m.conjugate().transpose()));
+}
+
+TEST(Matrix, TraceAndNorm) {
+  const Matrix m{{1.0, 7.0}, {9.0, 2.0}};
+  EXPECT_EQ(m.trace(), Complex(3.0, 0.0));
+  EXPECT_NEAR(Matrix::identity(4).frobenius_norm(), 2.0, 1e-12);
+  EXPECT_THROW((void)Matrix(2, 3).trace(), LogicError);
+}
+
+TEST(Matrix, PowBySquaring) {
+  const Matrix x = mat_x();
+  EXPECT_TRUE(x.pow(0).is_identity());
+  EXPECT_TRUE(x.pow(1).approx_equal(x));
+  EXPECT_TRUE(x.pow(2).is_identity());
+  EXPECT_TRUE(x.pow(5).approx_equal(x));
+}
+
+TEST(Matrix, KroneckerProductShapeAndValues) {
+  const Matrix a{{1.0, 2.0}};           // 1x2
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};  // 2x2
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 2u);
+  EXPECT_EQ(k.cols(), 4u);
+  EXPECT_EQ(k(0, 1), Complex(1.0, 0.0));
+  EXPECT_EQ(k(0, 3), Complex(2.0, 0.0));
+  EXPECT_EQ(k(1, 0), Complex(1.0, 0.0));
+  EXPECT_EQ(k(1, 2), Complex(2.0, 0.0));
+}
+
+TEST(Matrix, KroneckerOfUnitariesIsUnitary) {
+  const Matrix k = mat_v().kron(mat_h());
+  EXPECT_TRUE(k.is_unitary());
+  EXPECT_EQ(k.rows(), 4u);
+}
+
+TEST(Matrix, DirectSum) {
+  const Matrix d = mat_x().direct_sum(Matrix::identity(2));
+  EXPECT_EQ(d.rows(), 4u);
+  EXPECT_EQ(d(0, 1), Complex(1.0, 0.0));
+  EXPECT_EQ(d(2, 2), Complex(1.0, 0.0));
+  EXPECT_EQ(d(0, 2), Complex(0.0, 0.0));
+  EXPECT_TRUE(d.is_unitary());
+}
+
+TEST(Matrix, Block) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), Complex(5.0, 0.0));
+  EXPECT_EQ(b(1, 1), Complex(9.0, 0.0));
+  EXPECT_THROW((void)m.block(2, 2, 2, 2), LogicError);
+}
+
+TEST(Matrix, PermutationMatrixRoundTrip) {
+  const std::vector<std::size_t> perm = {2, 0, 3, 1};
+  const Matrix p = Matrix::permutation(perm);
+  EXPECT_TRUE(p.is_permutation());
+  EXPECT_TRUE(p.is_unitary());
+  EXPECT_EQ(p.extract_permutation(), perm);
+}
+
+TEST(Matrix, PermutationValidation) {
+  EXPECT_THROW(Matrix::permutation({0, 0}), LogicError);
+  EXPECT_THROW(Matrix::permutation({0, 5}), LogicError);
+}
+
+TEST(Matrix, IsPermutationRejectsPhases) {
+  Matrix m = Matrix::identity(2);
+  m(0, 0) = kI;
+  EXPECT_FALSE(m.is_permutation());
+  EXPECT_TRUE(m.is_permutation_up_to_phases());
+}
+
+TEST(Matrix, IsPermutationRejectsDoubleEntries) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 0) = 1.0;  // two entries in one column
+  m(0, 1) = 1.0;
+  EXPECT_FALSE(m.is_permutation());
+  EXPECT_FALSE(m.is_permutation_up_to_phases());
+}
+
+TEST(Matrix, EqualUpToPhase) {
+  const Matrix v = mat_v();
+  const Matrix phased = v * std::exp(kI * 0.7);
+  EXPECT_TRUE(v.equal_up_to_phase(phased));
+  EXPECT_FALSE(v.equal_up_to_phase(mat_v_dagger()));
+  EXPECT_FALSE(v.approx_equal(phased));
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = Matrix::identity(2);
+  Matrix b = a;
+  b(1, 1) = Complex(1.0, 0.25);
+  EXPECT_NEAR(a.max_abs_diff(b), 0.25, 1e-12);
+}
+
+TEST(Matrix, DiagonalBuilder) {
+  const Matrix d = Matrix::diagonal({1.0, kI, -1.0});
+  EXPECT_TRUE(d.is_unitary());
+  EXPECT_EQ(d(1, 1), kI);
+  EXPECT_EQ(d(0, 1), Complex(0.0, 0.0));
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  const std::string s = Matrix::identity(2).to_string();
+  EXPECT_NE(s.find("1.000"), std::string::npos);
+  EXPECT_NE(s.find("0.000"), std::string::npos);
+}
+
+// --- the paper's Figure 1 gate constants -------------------------------------
+
+TEST(GateConstants, VMatchesPaperEntries) {
+  const Matrix& v = mat_v();
+  EXPECT_EQ(v(0, 0), Complex(0.5, 0.5));
+  EXPECT_EQ(v(0, 1), Complex(0.5, -0.5));
+  EXPECT_EQ(v(1, 0), Complex(0.5, -0.5));
+  EXPECT_EQ(v(1, 1), Complex(0.5, 0.5));
+}
+
+TEST(GateConstants, VDaggerIsAdjointOfV) {
+  EXPECT_TRUE(mat_v_dagger().approx_equal(mat_v().adjoint()));
+}
+
+TEST(GateConstants, VSquaredIsNot) {
+  EXPECT_TRUE((mat_v() * mat_v()).approx_equal(mat_x()));
+  EXPECT_TRUE((mat_v_dagger() * mat_v_dagger()).approx_equal(mat_x()));
+}
+
+TEST(GateConstants, VTimesVDaggerIsIdentity) {
+  EXPECT_TRUE((mat_v() * mat_v_dagger()).is_identity());
+  EXPECT_TRUE((mat_v_dagger() * mat_v()).is_identity());
+}
+
+TEST(GateConstants, AllGatesAreUnitary) {
+  EXPECT_TRUE(mat_v().is_unitary());
+  EXPECT_TRUE(mat_v_dagger().is_unitary());
+  EXPECT_TRUE(mat_x().is_unitary());
+  EXPECT_TRUE(mat_h().is_unitary());
+  EXPECT_TRUE(mat_z().is_unitary());
+}
+
+TEST(GateConstants, VIsNotHermitianButXIs) {
+  EXPECT_FALSE(mat_v().is_hermitian());
+  EXPECT_TRUE(mat_x().is_hermitian());
+  EXPECT_TRUE(mat_h().is_hermitian());
+}
+
+}  // namespace
+}  // namespace qsyn::la

@@ -1,0 +1,124 @@
+// Tests for behavior-example learning (the paper's future-work feature):
+// sample a known quantum circuit's measured behavior, recover the spec, and
+// resynthesize an equivalent circuit.
+#include <gtest/gtest.h>
+
+#include "automata/learn.h"
+#include "automata/measurement.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
+
+namespace qsyn::automata {
+namespace {
+
+const gates::GateLibrary& library3() {
+  static const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  static const gates::GateLibrary lib(domain);
+  return lib;
+}
+
+TEST(Learn, InferSpecOfDeterministicCircuit) {
+  // A CNOT's behavior is deterministic; 16 samples per input suffice.
+  Rng rng(1);
+  const gates::Cascade circuit = gates::Cascade::parse("FCA", 3);
+  const auto samples = sample_behavior(circuit, 16, rng);
+  const auto learned = infer_spec(3, samples);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_EQ(learned->min_samples_per_input, 16u);
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    const mvl::Pattern output =
+        circuit.apply(mvl::Pattern::from_binary(3, input));
+    EXPECT_TRUE(learned->spec.accepts(input, output));
+  }
+}
+
+TEST(Learn, InferSpecOfCoinCircuit) {
+  Rng rng(2);
+  const gates::Cascade circuit = gates::Cascade::parse("VCA", 3);
+  const auto samples = sample_behavior(circuit, 64, rng);
+  const auto learned = infer_spec(3, samples);
+  ASSERT_TRUE(learned.has_value());
+  // Inputs with A = 1 must have wire C classified as a coin.
+  const auto& row = learned->spec.behavior_for(0b100);
+  EXPECT_EQ(row[0], WireBehavior::kOne);
+  EXPECT_EQ(row[1], WireBehavior::kZero);
+  EXPECT_EQ(row[2], WireBehavior::kCoin);
+}
+
+TEST(Learn, UndersampledInputsRejected) {
+  Rng rng(3);
+  const auto samples =
+      sample_behavior(gates::Cascade::parse("FCA", 3), 4, rng);
+  EXPECT_FALSE(infer_spec(3, samples, /*min_samples=*/16).has_value());
+  EXPECT_TRUE(infer_spec(3, samples, /*min_samples=*/4).has_value());
+}
+
+TEST(Learn, MissingInputRejected) {
+  Rng rng(4);
+  auto samples = sample_behavior(gates::Cascade::parse("FCA", 3), 16, rng);
+  // Drop every sample of input 5.
+  std::vector<BehaviorSample> filtered;
+  for (const auto& s : samples) {
+    if (s.input != 5) filtered.push_back(s);
+  }
+  EXPECT_FALSE(infer_spec(3, filtered).has_value());
+}
+
+TEST(Learn, NonQuaternaryBehaviorRejected) {
+  // A 3/4-biased wire cannot come from the four-valued model.
+  Rng rng(5);
+  std::vector<BehaviorSample> samples;
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t biased_bit = rng.bernoulli(0.75) ? 1u : 0u;
+      samples.push_back({input, (input & 0b110u) | biased_bit});
+    }
+  }
+  EXPECT_FALSE(infer_spec(3, samples, 16, 0.15).has_value());
+}
+
+TEST(Learn, MalformedSamplesThrow) {
+  EXPECT_THROW((void)infer_spec(3, {{8, 0}}), qsyn::LogicError);
+  EXPECT_THROW((void)infer_spec(3, {{0, 9}}), qsyn::LogicError);
+  EXPECT_THROW((void)infer_spec(3, {}, 16, 0.4), qsyn::LogicError);
+}
+
+TEST(Learn, EndToEndRecoversEquivalentCircuit) {
+  // Sample a 2-gate probabilistic circuit, learn a circuit from samples
+  // only, and verify the learned circuit's exact distribution matches the
+  // source on every input.
+  Rng rng(6);
+  const gates::Cascade source = gates::Cascade::parse("FAC*VAB", 3);
+  const auto samples = sample_behavior(source, 128, rng);
+  const auto learned = learn_circuit(library3(), samples);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_LE(learned->size(), source.size());
+  for (std::uint32_t input = 0; input < 8; ++input) {
+    const auto want = outcome_distribution(
+        source.apply(mvl::Pattern::from_binary(3, input)));
+    const auto got = outcome_distribution(
+        learned->apply(mvl::Pattern::from_binary(3, input)));
+    for (std::size_t o = 0; o < want.size(); ++o) {
+      EXPECT_NEAR(want[o], got[o], 1e-12) << "input " << input;
+    }
+  }
+}
+
+TEST(Learn, EndToEndOnDeterministicToffoliBehavior) {
+  Rng rng(7);
+  const gates::Cascade toffoli =
+      gates::Cascade::parse("FBA*V+CB*FBA*VCA*VCB", 3);
+  const auto samples = sample_behavior(toffoli, 16, rng);
+  const auto learned = learn_circuit(library3(), samples, 7);
+  ASSERT_TRUE(learned.has_value());
+  // The learned circuit must compute the same reversible function (it may
+  // be any of the minimal realizations).
+  EXPECT_EQ(learned->to_binary_permutation(),
+            toffoli.to_binary_permutation());
+  EXPECT_EQ(learned->size(), 5u);
+}
+
+}  // namespace
+}  // namespace qsyn::automata

@@ -1,0 +1,195 @@
+// Unit tests for qsyn/perm: permutations with the paper's (GAP) composition
+// convention a*b = "apply a first, then b".
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "perm/permutation.h"
+
+namespace qsyn::perm {
+namespace {
+
+TEST(Permutation, IdentityBasics) {
+  const Permutation id = Permutation::identity(5);
+  EXPECT_EQ(id.degree(), 5u);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.apply(3), 3u);
+  EXPECT_EQ(id.to_cycle_string(), "()");
+  EXPECT_EQ(id.order(), 1u);
+  EXPECT_EQ(id.sign(), 1);
+}
+
+TEST(Permutation, PointsBeyondDegreeAreFixed) {
+  const Permutation id = Permutation::identity(3);
+  EXPECT_EQ(id.apply(10), 10u);
+}
+
+TEST(Permutation, FromImagesValidation) {
+  EXPECT_NO_THROW(Permutation::from_images({2, 1, 3}));
+  EXPECT_THROW(Permutation::from_images({2, 2, 3}), LogicError);
+  EXPECT_THROW(Permutation::from_images({0, 1, 2}), LogicError);
+  EXPECT_THROW(Permutation::from_images({1, 2, 4}), LogicError);
+}
+
+TEST(Permutation, CycleParseSimple) {
+  const Permutation p = Permutation::from_cycles("(3,7,4,8)", 8);
+  EXPECT_EQ(p.apply(3), 7u);
+  EXPECT_EQ(p.apply(7), 4u);
+  EXPECT_EQ(p.apply(4), 8u);
+  EXPECT_EQ(p.apply(8), 3u);
+  EXPECT_EQ(p.apply(1), 1u);
+  EXPECT_EQ(p.to_cycle_string(), "(3,7,4,8)");
+}
+
+TEST(Permutation, CycleParseMultipleCycles) {
+  const Permutation p = Permutation::from_cycles("(1,2)(3,4,5)");
+  EXPECT_EQ(p.degree(), 5u);
+  EXPECT_EQ(p.apply(2), 1u);
+  EXPECT_EQ(p.apply(5), 3u);
+  EXPECT_EQ(p.order(), 6u);
+}
+
+TEST(Permutation, CycleParseIdentity) {
+  EXPECT_TRUE(Permutation::from_cycles("()", 4).is_identity());
+  EXPECT_TRUE(Permutation::from_cycles("", 4).is_identity());
+}
+
+TEST(Permutation, CycleParseErrors) {
+  EXPECT_THROW(Permutation::from_cycles("(1,2"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("1,2)"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("(1,1)"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("(1,2)(2,3)"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("(a,b)"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("(0,1)"), qsyn::ParseError);
+  EXPECT_THROW(Permutation::from_cycles("(1,9)", 3), qsyn::ParseError);
+}
+
+TEST(Permutation, PaperCompositionConvention) {
+  // Paper/GAP: (a*b)(s) = b(a(s)).
+  const Permutation a = Permutation::from_cycles("(1,2)", 3);
+  const Permutation b = Permutation::from_cycles("(2,3)", 3);
+  const Permutation ab = a * b;
+  EXPECT_EQ(ab.apply(1), 3u);  // a: 1->2, b: 2->3
+  EXPECT_EQ(ab.apply(2), 1u);
+  EXPECT_EQ(ab.apply(3), 2u);
+  const Permutation ba = b * a;
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ba.apply(1), 2u);
+}
+
+TEST(Permutation, ProductOfDifferentDegrees) {
+  const Permutation a = Permutation::from_cycles("(1,2)", 2);
+  const Permutation b = Permutation::from_cycles("(3,4)", 4);
+  const Permutation ab = a * b;
+  EXPECT_EQ(ab.degree(), 4u);
+  EXPECT_EQ(ab.apply(1), 2u);
+  EXPECT_EQ(ab.apply(3), 4u);
+}
+
+TEST(Permutation, InverseProperty) {
+  const Permutation p = Permutation::from_cycles("(1,5,2)(3,4)", 6);
+  EXPECT_TRUE((p * p.inverse()).is_identity());
+  EXPECT_TRUE((p.inverse() * p).is_identity());
+  EXPECT_EQ(p.inverse().apply(5), 1u);
+}
+
+TEST(Permutation, PowerAndOrder) {
+  const Permutation p = Permutation::from_cycles("(1,2,3,4)", 4);
+  EXPECT_EQ(p.order(), 4u);
+  EXPECT_TRUE(p.power(4).is_identity());
+  EXPECT_EQ(p.power(2).to_cycle_string(), "(1,3)(2,4)");
+  EXPECT_TRUE(p.power(0).is_identity());
+  const Permutation q = Permutation::from_cycles("(1,2)(3,4,5)", 5);
+  EXPECT_EQ(q.order(), 6u);
+}
+
+TEST(Permutation, SignMatchesCycleStructure) {
+  EXPECT_EQ(Permutation::from_cycles("(1,2)", 2).sign(), -1);
+  EXPECT_EQ(Permutation::from_cycles("(1,2,3)", 3).sign(), 1);
+  EXPECT_EQ(Permutation::from_cycles("(1,2)(3,4)", 4).sign(), 1);
+  EXPECT_EQ(Permutation::from_cycles("(1,2,3,4)", 4).sign(), -1);
+}
+
+TEST(Permutation, SupportAndFixedPoints) {
+  const Permutation p = Permutation::from_cycles("(2,4)", 5);
+  EXPECT_EQ(p.support(), (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(p.fixed_points(), (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(Permutation, ApplySetSorts) {
+  const Permutation p = Permutation::from_cycles("(1,8)(2,5)", 8);
+  const auto image = p.apply_set({1, 2, 3});
+  EXPECT_EQ(image, (std::vector<std::uint32_t>{3, 5, 8}));
+}
+
+TEST(Permutation, StabilizesSet) {
+  const Permutation p = Permutation::from_cycles("(1,2)(3,4)", 4);
+  EXPECT_TRUE(p.stabilizes_set({1, 2}));
+  EXPECT_TRUE(p.stabilizes_set({1, 2, 3, 4}));
+  EXPECT_FALSE(p.stabilizes_set({2, 3}));
+}
+
+TEST(Permutation, RestrictedToPrefix) {
+  // The paper's Restrictedperm(b, S) with S = {1..k}.
+  const Permutation b = Permutation::from_cycles("(1,2)(5,6)", 6);
+  const Permutation r = b.restricted_to_prefix(4);
+  EXPECT_EQ(r.degree(), 4u);
+  EXPECT_EQ(r.to_cycle_string(), "(1,2)");
+  EXPECT_THROW((void)b.restricted_to_prefix(5), LogicError);
+}
+
+TEST(Permutation, ExtendedTo) {
+  const Permutation p = Permutation::from_cycles("(1,2)", 2);
+  const Permutation e = p.extended_to(5);
+  EXPECT_EQ(e.degree(), 5u);
+  EXPECT_EQ(e.apply(5), 5u);
+  EXPECT_EQ(e.apply(1), 2u);
+  EXPECT_THROW((void)e.extended_to(2), LogicError);
+}
+
+TEST(Permutation, EqualityAcrossDegrees) {
+  const Permutation a = Permutation::from_cycles("(1,2)", 2);
+  const Permutation b = Permutation::from_cycles("(1,2)", 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(Permutation::identity(0), Permutation::identity(9));
+}
+
+TEST(Permutation, HashConsistentAcrossDegrees) {
+  const Permutation a = Permutation::from_cycles("(1,2)", 2);
+  const Permutation b = Permutation::from_cycles("(1,2)", 7);
+  PermutationHash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Permutation, OrderingIsLexicographic) {
+  const Permutation id = Permutation::identity(3);
+  const Permutation p = Permutation::from_cycles("(2,3)", 3);
+  EXPECT_LT(id, p);
+  EXPECT_FALSE(p < id);
+}
+
+TEST(Permutation, CycleType) {
+  const Permutation p = Permutation::from_cycles("(1,2)(3,4,5)(6,7,8,9)", 9);
+  EXPECT_EQ(p.cycle_type(), (std::vector<std::size_t>{4, 3, 2}));
+  EXPECT_TRUE(Permutation::identity(5).cycle_type().empty());
+}
+
+TEST(Permutation, Transposition) {
+  const Permutation t = Permutation::transposition(5, 2, 4);
+  EXPECT_EQ(t.to_cycle_string(), "(2,4)");
+  EXPECT_THROW(Permutation::transposition(5, 2, 2), LogicError);
+  EXPECT_THROW(Permutation::transposition(5, 0, 2), LogicError);
+}
+
+TEST(Permutation, FromImages0) {
+  const Permutation p = Permutation::from_images0({1, 0, 2});
+  EXPECT_EQ(p.to_cycle_string(), "(1,2)");
+}
+
+TEST(Permutation, PaperGateCycleRoundTrip) {
+  // The paper's printed V_BA representation survives a parse/print cycle.
+  const std::string text = "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)";
+  EXPECT_EQ(Permutation::from_cycles(text, 38).to_cycle_string(), text);
+}
+
+}  // namespace
+}  // namespace qsyn::perm

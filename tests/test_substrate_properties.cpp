@@ -1,0 +1,173 @@
+// Randomized property sweeps over the numerical and group-theoretic
+// substrates: algebraic identities for matrices, Schreier-Sims order vs
+// brute-force closure, and FlatPermStore vs a std::set reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "la/lu.h"
+#include "la/matrix.h"
+#include "perm/perm_group.h"
+#include "perm/permutation.h"
+#include "synth/flat_perm_store.h"
+
+namespace qsyn {
+namespace {
+
+la::Matrix random_matrix(std::size_t n, Rng& rng) {
+  la::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m(r, c) = la::Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+    }
+  }
+  return m;
+}
+
+perm::Permutation random_perm(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> images(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images[i] = static_cast<std::uint32_t>(i + 1);
+  }
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(images[i - 1], images[rng.below(i)]);
+  }
+  return perm::Permutation::from_images(std::move(images));
+}
+
+class SubstrateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubstrateProperty, KroneckerMixedProduct) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD).
+  Rng rng(GetParam());
+  const la::Matrix a = random_matrix(3, rng);
+  const la::Matrix b = random_matrix(2, rng);
+  const la::Matrix c = random_matrix(3, rng);
+  const la::Matrix d = random_matrix(2, rng);
+  EXPECT_TRUE((a.kron(b) * c.kron(d)).approx_equal((a * c).kron(b * d), 1e-9));
+}
+
+TEST_P(SubstrateProperty, AdjointOfProductReverses) {
+  Rng rng(GetParam() + 1000);
+  const la::Matrix a = random_matrix(4, rng);
+  const la::Matrix b = random_matrix(4, rng);
+  EXPECT_TRUE((a * b).adjoint().approx_equal(b.adjoint() * a.adjoint(), 1e-9));
+}
+
+TEST_P(SubstrateProperty, LuSolvesRandomSystems) {
+  Rng rng(GetParam() + 2000);
+  const la::Matrix a = random_matrix(6, rng);
+  la::Vector x(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x[i] = la::Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  }
+  const la::Vector b = a * x;
+  EXPECT_TRUE(la::solve(a, b).approx_equal(x, 1e-7));
+}
+
+TEST_P(SubstrateProperty, DeterminantIsMultiplicative) {
+  Rng rng(GetParam() + 3000);
+  const la::Matrix a = random_matrix(4, rng);
+  const la::Matrix b = random_matrix(4, rng);
+  const la::Complex det_ab = la::determinant(a * b);
+  const la::Complex product = la::determinant(a) * la::determinant(b);
+  EXPECT_LT(std::abs(det_ab - product), 1e-7);
+}
+
+TEST_P(SubstrateProperty, SchreierSimsMatchesBruteForceClosure) {
+  // Two random permutations of degree 6: compare the Schreier-Sims order
+  // against an explicit product closure.
+  Rng rng(GetParam() + 4000);
+  const auto g1 = random_perm(6, rng);
+  const auto g2 = random_perm(6, rng);
+  const perm::PermGroup group({g1, g2});
+
+  std::set<perm::Permutation> closure = {perm::Permutation::identity(6)};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    std::vector<perm::Permutation> snapshot(closure.begin(), closure.end());
+    for (const auto& element : snapshot) {
+      for (const auto& gen : {g1, g2}) {
+        if (closure.insert(element * gen).second) grew = true;
+      }
+    }
+  }
+  EXPECT_EQ(group.order(), closure.size());
+  for (const auto& element : closure) {
+    EXPECT_TRUE(group.contains(element));
+  }
+}
+
+TEST_P(SubstrateProperty, GroupElementsMatchClosure) {
+  Rng rng(GetParam() + 5000);
+  const auto g1 = random_perm(5, rng);
+  const auto g2 = random_perm(5, rng);
+  const perm::PermGroup group({g1, g2});
+  const auto elements = group.elements(1u << 18);
+  const std::set<perm::Permutation> distinct(elements.begin(),
+                                             elements.end());
+  EXPECT_EQ(distinct.size(), group.order());
+}
+
+TEST_P(SubstrateProperty, FlatStoreMatchesSetModel) {
+  // Random pushes + sort_unique + subtract + merge against std::set algebra.
+  Rng rng(GetParam() + 6000);
+  synth::FlatPermStore a(6);
+  synth::FlatPermStore b(6);
+  std::set<perm::Permutation> ref_a;
+  std::set<perm::Permutation> ref_b;
+  for (int i = 0; i < 40; ++i) {
+    const auto p = random_perm(6, rng);
+    if (rng.bernoulli(0.5)) {
+      a.push_back(p);
+      ref_a.insert(p);
+    } else {
+      b.push_back(p);
+      ref_b.insert(p);
+    }
+  }
+  a.sort_unique();
+  b.sort_unique();
+  ASSERT_EQ(a.size(), ref_a.size());
+  ASSERT_EQ(b.size(), ref_b.size());
+
+  synth::FlatPermStore diff = a;
+  diff.subtract_sorted(b);
+  std::set<perm::Permutation> ref_diff;
+  std::set_difference(ref_a.begin(), ref_a.end(), ref_b.begin(), ref_b.end(),
+                      std::inserter(ref_diff, ref_diff.begin()));
+  ASSERT_EQ(diff.size(), ref_diff.size());
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    EXPECT_TRUE(ref_diff.count(diff.permutation(i)) == 1);
+  }
+
+  synth::FlatPermStore merged = diff;
+  merged.merge_sorted(b);
+  std::set<perm::Permutation> ref_merged = ref_diff;
+  ref_merged.insert(ref_b.begin(), ref_b.end());
+  ASSERT_EQ(merged.size(), ref_merged.size());
+  // Merged store must be sorted: contains_sorted finds every member.
+  for (const auto& p : ref_merged) {
+    synth::FlatPermStore probe(6);
+    probe.push_back(p);
+    EXPECT_TRUE(merged.contains_sorted(probe.row(0)));
+  }
+}
+
+TEST_P(SubstrateProperty, PermutationOrderDividesGroupOrder) {
+  Rng rng(GetParam() + 7000);
+  const auto g1 = random_perm(6, rng);
+  const auto g2 = random_perm(6, rng);
+  const perm::PermGroup group({g1, g2});
+  EXPECT_EQ(group.order() % g1.order(), 0u);  // Lagrange on <g1>
+  EXPECT_EQ(group.order() % g2.order(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstrateProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace qsyn

@@ -1,0 +1,147 @@
+// Unit tests for the Section-5 group-theory claims: |G| = 5040, |S8| = 40320,
+// and the universality of the 24 cost-4 Peres-like gates.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gates/library.h"
+#include "mvl/domain.h"
+#include "synth/fmcf.h"
+#include "synth/specs.h"
+#include "synth/universality.h"
+
+namespace qsyn::synth {
+namespace {
+
+TEST(Universality, SixFeynmanPermsAreDistinctInvolutions) {
+  const auto perms = feynman_binary_perms();
+  ASSERT_EQ(perms.size(), 6u);
+  std::set<perm::Permutation> distinct(perms.begin(), perms.end());
+  EXPECT_EQ(distinct.size(), 6u);
+  for (const auto& p : perms) {
+    EXPECT_TRUE((p * p).is_identity());
+    EXPECT_EQ(p.apply(1), 1u);  // CNOTs fix the all-zero pattern
+  }
+}
+
+TEST(Universality, FeynmanGatesAloneGenerateGl32) {
+  // CNOT circuits on 3 wires = invertible linear maps = GL(3,2), order 168.
+  const perm::PermGroup g = group_with_feynman({});
+  EXPECT_EQ(g.order(), 168u);
+}
+
+TEST(Universality, PaperClaimFeynmanPlusPeresGenerate5040) {
+  // Section 5: G = <FAB, FBA, FBC, FCB, Peres>, |G| = 5040.
+  const perm::PermGroup g = group_with_feynman({peres_perm()});
+  EXPECT_EQ(g.order(), 5040u);
+  // 5040 = |S7| = the full stabilizer of label 1 inside S8.
+  EXPECT_TRUE(g.fixes_point(1));
+}
+
+TEST(Universality, PaperClaimExactGeneratingSet) {
+  // The paper lists only four Feynman gates; verify that smaller generating
+  // set too: <FAB, FBA, FBC, FCB, Peres> without FCA/FAC.
+  std::vector<perm::Permutation> gens;
+  for (const char* name : {"FAB", "FBA", "FBC", "FCB"}) {
+    gates::Cascade c(3);
+    c.append(gates::Gate::parse(name));
+    gens.push_back(c.to_binary_permutation());
+  }
+  gens.push_back(peres_perm());
+  EXPECT_EQ(perm::PermGroup(gens).order(), 5040u);
+}
+
+TEST(Universality, AddingNotGatesReaches40320) {
+  const perm::PermGroup m = group_with_not_and_feynman(peres_perm());
+  EXPECT_EQ(m.order(), 40320u);
+  EXPECT_EQ(m.order_string(), "40320");
+}
+
+TEST(Universality, NotAndFeynmanAloneAreNotUniversal) {
+  // Affine circuits only: 8 * 168 = 1344 < 40320.
+  std::vector<perm::Permutation> gens = feynman_binary_perms();
+  const auto nots = not_binary_perms();
+  gens.insert(gens.end(), nots.begin(), nots.end());
+  EXPECT_EQ(perm::PermGroup(gens).order(), 1344u);
+}
+
+TEST(Universality, RepresentativeGatesG1ToG4AreUniversal) {
+  EXPECT_TRUE(is_universal_with_not_and_feynman(peres_perm()));
+  EXPECT_TRUE(is_universal_with_not_and_feynman(g2_perm()));
+  EXPECT_TRUE(is_universal_with_not_and_feynman(g3_perm()));
+  EXPECT_TRUE(is_universal_with_not_and_feynman(g4_perm()));
+}
+
+TEST(Universality, ToffoliIsUniversalButSwapIsNot) {
+  EXPECT_TRUE(is_universal_with_not_and_feynman(toffoli_perm()));
+  // Swap is linear — adds nothing beyond the affine group.
+  EXPECT_FALSE(is_universal_with_not_and_feynman(swap_bc_perm()));
+}
+
+TEST(Universality, All24PeresLikeCostFourGatesAreUniversal) {
+  // Section 5: the 24 non-linear members of G[4] each generate S8 together
+  // with NOT and Feynman gates.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfEnumerator enumerator(library);
+  enumerator.run_to(4);
+  std::size_t universal = 0;
+  std::size_t linear = 0;
+  for (const auto& g : enumerator.g_set(4)) {
+    if (is_universal_with_not_and_feynman(g)) {
+      ++universal;
+    } else {
+      ++linear;
+    }
+  }
+  EXPECT_EQ(universal, 24u);
+  EXPECT_EQ(linear, 60u);  // the four-CNOT (linear) members
+}
+
+TEST(Universality, The24FormFourWirePermutationFamilies) {
+  // "There are four representative circuits from these 24 circuits. Each of
+  // these four circuits has other five similar circuits with different
+  // permutations of the three bits."
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfEnumerator enumerator(library);
+  enumerator.run_to(4);
+
+  // The six wire permutations of {A,B,C} act on binary labels by bit
+  // shuffling; conjugation partitions the 24 into orbits.
+  std::vector<perm::Permutation> wire_actions;
+  const int orders[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                            {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& order : orders) {
+    std::vector<std::uint32_t> images(8);
+    for (std::uint32_t bits = 0; bits < 8; ++bits) {
+      std::uint32_t shuffled = 0;
+      for (int w = 0; w < 3; ++w) {
+        const std::uint32_t bit = (bits >> (2 - order[w])) & 1u;
+        shuffled |= bit << (2 - w);
+      }
+      images[bits] = shuffled + 1;
+    }
+    wire_actions.push_back(perm::Permutation::from_images(images));
+  }
+
+  std::vector<perm::Permutation> nonlinear;
+  for (const auto& g : enumerator.g_set(4)) {
+    if (is_universal_with_not_and_feynman(g)) nonlinear.push_back(g);
+  }
+  ASSERT_EQ(nonlinear.size(), 24u);
+
+  std::set<perm::Permutation> remaining(nonlinear.begin(), nonlinear.end());
+  std::size_t orbits = 0;
+  while (!remaining.empty()) {
+    ++orbits;
+    const perm::Permutation rep = *remaining.begin();
+    for (const auto& w : wire_actions) {
+      remaining.erase(w.inverse() * rep * w);  // conjugate by wire shuffle
+    }
+  }
+  EXPECT_EQ(orbits, 4u);
+}
+
+}  // namespace
+}  // namespace qsyn::synth
