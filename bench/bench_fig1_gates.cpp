@@ -17,7 +17,7 @@ namespace {
 using namespace qsyn;
 
 void check(const char* label, bool ok) {
-  std::printf("  %-46s %s\n", label, ok ? "OK" : "DIFFERS");
+  std::printf("  %-46s %s\n", label, bench::status_word(ok));
 }
 
 void regenerate_fig1() {

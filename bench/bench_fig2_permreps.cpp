@@ -19,7 +19,7 @@ void check_cycles(const gates::GateLibrary& library, const char* gate,
   const std::string measured =
       library.permutation(library.index_of(gate)).to_cycle_string();
   std::printf("  %-5s paper    %s\n        measured %s  %s\n", gate, paper,
-              measured.c_str(), measured == paper ? "OK" : "DIFFERS");
+              measured.c_str(), bench::status_word(measured == paper));
 }
 
 void check_banned(const mvl::PatternDomain& domain, mvl::BannedClass c,
@@ -33,7 +33,7 @@ void check_banned(const mvl::PatternDomain& domain, mvl::BannedClass c,
   }
   std::printf("  %-5s paper    {%s}\n        measured {%s}  %s\n",
               domain.class_name(c).c_str(), paper.c_str(), os.str().c_str(),
-              os.str() == paper ? "OK" : "DIFFERS");
+              bench::status_word(os.str() == paper));
 }
 
 void regenerate_fig2() {

@@ -20,7 +20,7 @@ namespace {
 
 using namespace qsyn;
 
-void regenerate() {
+bool regenerate() {
   bench::section("Figure 3 / Section 4: quantum probabilistic machines");
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
@@ -32,15 +32,16 @@ void regenerate() {
                                            automata::controlled_coin_spec(3));
   if (!qrng.has_value()) {
     std::printf("  QRNG synthesis FAILED\n");
-    return;
+    return false;
   }
   std::printf("  QRNG circuit: %s (cost %zu, synthesized in %.4f s)\n",
               qrng->circuit().to_string().c_str(), qrng->circuit().size(),
               timer.seconds());
   const auto dist = qrng->distribution(0b100);
-  std::printf("  input A=1,B=0,C=0: P[C=0]=%.3f P[C=1]=%.3f (expected "
-              "0.500/0.500)\n",
-              dist[0b100], dist[0b101]);
+  bench::compare_row_near("P[C=0] given A=1,B=0,C=0", 0.5, dist[0b100], 1e-9,
+                          "fair coin");
+  bench::compare_row_near("P[C=1] given A=1,B=0,C=0", 0.5, dist[0b101], 1e-9,
+                          "fair coin");
   Rng rng(1234);
   const auto hist = qrng->histogram(0b100, 100000, rng);
   std::printf("  100k samples: %zu / %zu (coin flips)\n", hist[0b100],
@@ -53,8 +54,9 @@ void regenerate() {
   const auto empirical = machine.empirical_distribution(0b01, 200000, rng);
   std::printf("\n  probabilistic FSM (state = wire A, input C = 1):\n");
   for (std::size_t s = 0; s < exact.size(); ++s) {
-    std::printf("    state %zu: exact stationary %.4f, Monte-Carlo %.4f\n", s,
-                exact[s], empirical[s]);
+    bench::compare_row_near("stationary P[state=" + std::to_string(s) + "]",
+                            exact[s], empirical[s], 5e-3,
+                            "exact solve vs 200k Monte-Carlo steps");
   }
 
   // 3. HMM view: emissions carry the measured non-state wires.
@@ -64,6 +66,7 @@ void regenerate() {
   for (const auto s : traj.states) std::printf("%u", s);
   std::printf("\n  log-likelihood of that emission sequence: %.4f\n",
               hmm.log_likelihood(0, traj.emissions));
+  return true;
 }
 
 void bm_qrng_generate(benchmark::State& state) {
@@ -98,6 +101,9 @@ BENCHMARK(bm_stationary_solve)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  regenerate();
-  return qsyn::bench::run_benchmarks(argc, argv);
+  // regenerate() is false only on the synthesis-failure early exit;
+  // comparison-row mismatches reach the exit code via run_benchmarks.
+  const bool synthesized = regenerate();
+  const int bench_rc = qsyn::bench::run_benchmarks(argc, argv);
+  return synthesized ? bench_rc : 1;
 }

@@ -37,8 +37,7 @@ void regenerate_fig4() {
     const bool exact =
         sim::realizes_permutation(impl.circuit, synth::peres_perm());
     std::printf("  %-34s %s  (unitary %s)\n", "implementation",
-                impl.circuit.to_string().c_str(),
-                exact ? "exact" : "MISMATCH");
+                impl.circuit.to_string().c_str(), bench::status_word(exact));
     std::printf("%s\n", impl.circuit.to_diagram().c_str());
   }
   std::printf("  runtime: %.3f s (paper: 9 s on an 850 MHz P-III)\n",
@@ -48,12 +47,12 @@ void regenerate_fig4() {
   const auto fig8 = synth::peres_cascade_fig8();
   std::printf("  paper Fig 4 cascade %s verifies: %s\n",
               fig4.to_string().c_str(),
-              sim::realizes_permutation(fig4, synth::peres_perm()) ? "OK"
-                                                                   : "NO");
+              bench::status_word(
+                  sim::realizes_permutation(fig4, synth::peres_perm())));
   std::printf("  paper Fig 8 cascade %s verifies: %s\n",
               fig8.to_string().c_str(),
-              sim::realizes_permutation(fig8, synth::peres_perm()) ? "OK"
-                                                                   : "NO");
+              bench::status_word(
+                  sim::realizes_permutation(fig8, synth::peres_perm())));
 }
 
 void bm_synthesize_peres(benchmark::State& state) {

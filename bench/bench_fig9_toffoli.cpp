@@ -37,8 +37,7 @@ void regenerate_fig9() {
     const bool exact =
         sim::realizes_permutation(impl.circuit, synth::toffoli_perm());
     std::printf("  implementation %s  (unitary %s)\n",
-                impl.circuit.to_string().c_str(),
-                exact ? "exact" : "MISMATCH");
+                impl.circuit.to_string().c_str(), bench::status_word(exact));
   }
   std::printf("  runtime: %.3f s (paper: 98 s on an 850 MHz P-III)\n",
               seconds);
@@ -46,8 +45,8 @@ void regenerate_fig9() {
   std::printf("\n  paper's printed circuits (a)-(d):\n");
   for (const auto& c : synth::toffoli_cascades_fig9()) {
     std::printf("    %-24s verifies: %s\n", c.to_string().c_str(),
-                sim::realizes_permutation(c, synth::toffoli_perm()) ? "OK"
-                                                                    : "NO");
+                bench::status_word(
+                    sim::realizes_permutation(c, synth::toffoli_perm())));
   }
 
   // All length-5 reasonable gate sequences realizing Toffoli (the closure

@@ -96,11 +96,10 @@ void regenerate() {
   };
   for (const Row& row : rows) {
     std::printf("  %-26s perm %s  unitary %s\n", row.name,
-                row.cascade.to_binary_permutation() == row.target ? "OK"
-                                                                  : "DIFFERS",
-                sim::realizes_permutation(row.cascade, row.target)
-                    ? "exact"
-                    : "MISMATCH");
+                bench::status_word(row.cascade.to_binary_permutation() ==
+                                   row.target),
+                bench::status_word(
+                    sim::realizes_permutation(row.cascade, row.target)));
   }
 }
 

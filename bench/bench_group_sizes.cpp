@@ -47,7 +47,7 @@ void regenerate() {
   const bool partition = perm::cosets_partition_group(
       not_layers, g, perm::PermGroup::symmetric(8));
   std::printf("  Theorem 2: S8 = disjoint union of the 8 cosets a*G: %s\n",
-              partition ? "OK" : "DIFFERS");
+              bench::status_word(partition));
   std::printf("  total: %.3f s\n", timer.seconds());
 }
 

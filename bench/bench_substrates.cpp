@@ -3,6 +3,7 @@
 // the flat permutation store, and the state-vector simulator.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "gates/cascade.h"
 #include "gates/library.h"
@@ -128,4 +129,6 @@ BENCHMARK(bm_sim_cascade_8q);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

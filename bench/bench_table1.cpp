@@ -25,7 +25,7 @@ void regenerate_table1() {
   std::printf("%s", table.to_text().c_str());
   const std::string measured = table.to_permutation().to_cycle_string();
   std::printf("  permutation representation: paper=(3,7,4,8) measured=%s %s\n",
-              measured.c_str(), measured == "(3,7,4,8)" ? "OK" : "DIFFERS");
+              measured.c_str(), bench::status_word(measured == "(3,7,4,8)"));
 }
 
 void bm_truth_table_full2(benchmark::State& state) {

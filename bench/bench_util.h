@@ -8,10 +8,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace qsyn::bench {
+
+namespace detail {
+/// Sticky flag set by any compare_row/compare_row_near mismatch; folded into
+/// run_benchmarks's exit code so a DIFFERS row fails the binary itself.
+inline bool& mismatch_seen() {
+  static bool seen = false;
+  return seen;
+}
+}  // namespace detail
 
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -26,8 +39,30 @@ inline bool compare_row(const std::string& label, long long paper,
                         long long measured,
                         const std::string& remark = "") {
   const bool match = paper == measured;
+  if (!match) detail::mismatch_seen() = true;
   std::printf("  %-34s paper=%-8lld measured=%-8lld %s%s%s\n", label.c_str(),
               paper, measured, match ? "OK" : "DIFFERS",
+              remark.empty() ? "" : "  -- ", remark.c_str());
+  return match;
+}
+
+/// Records the outcome of a custom paper-vs-measured check and returns the
+/// status word, for printf-style rows built outside compare_row. Like the
+/// compare_row helpers, a failed check makes run_benchmarks return nonzero.
+inline const char* status_word(bool ok) {
+  if (!ok) detail::mismatch_seen() = true;
+  return ok ? "OK" : "DIFFERS";
+}
+
+/// Floating-point variant of compare_row for the figure benches that check
+/// probabilities/fidelities: agreement means |paper - measured| <= tol.
+inline bool compare_row_near(const std::string& label, double paper,
+                             double measured, double tol,
+                             const std::string& remark = "") {
+  const bool match = std::fabs(paper - measured) <= tol;
+  if (!match) detail::mismatch_seen() = true;
+  std::printf("  %-34s paper=%-8.4f measured=%-8.4f %s (tol %.1e)%s%s\n",
+              label.c_str(), paper, measured, match ? "OK" : "DIFFERS", tol,
               remark.empty() ? "" : "  -- ", remark.c_str());
   return match;
 }
@@ -38,12 +73,34 @@ inline void value_row(const std::string& label, const std::string& value) {
 }
 
 /// Runs registered google-benchmark timings (no-op when none registered).
+///
+/// The paper-vs-measured rows above go to stdout, so capturing timings by
+/// redirecting stdout yields corrupt JSON. Timings are instead routed through
+/// --benchmark_out: pass the flag explicitly, or set QSYN_BENCH_OUT=<path>
+/// (used by scripts/run_benches.sh) and the JSON lands in that file.
 inline int run_benchmarks(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    // google-benchmark only accepts the --benchmark_out=<path> form.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out_flag = true;
+  }
+  std::string out_flag, format_flag;
+  const char* out_path = std::getenv("QSYN_BENCH_OUT");
+  if (out_path != nullptr && !has_out_flag) {
+    out_flag = std::string("--benchmark_out=") + out_path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return detail::mismatch_seen() ? 1 : 0;
 }
 
 }  // namespace qsyn::bench

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Runs every paper-artifact bench binary and aggregates the google-benchmark
+# timings into one baseline file so future PRs can diff perf against it.
+#
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUT_FILE]
+#   BUILD_DIR  build tree containing bench/ binaries   (default: build)
+#   OUT_FILE   aggregated baseline JSON                (default: BENCH_seed.json)
+#
+# Timings are captured via --benchmark_out (see bench/bench_util.h), NOT by
+# redirecting stdout: stdout carries the human-readable paper-vs-measured
+# tables, which would corrupt redirected JSON. Extra google-benchmark flags
+# (e.g. --benchmark_min_time=0.1s) can be passed via QSYN_BENCH_ARGS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_seed.json}"
+SCRATCH="bench-out"
+
+if ! compgen -G "$BUILD_DIR/bench/bench_*" > /dev/null; then
+  echo "error: no bench binaries under $BUILD_DIR/bench" >&2
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Fresh scratch dir: stale reports from removed/renamed benches must not
+# leak into the aggregated baseline.
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+
+failures=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "=== running $name ==="
+  # shellcheck disable=SC2086  # QSYN_BENCH_ARGS is intentionally word-split
+  if ! QSYN_BENCH_OUT="$SCRATCH/$name.bench.json" \
+      "$bin" ${QSYN_BENCH_ARGS:-} > "$SCRATCH/$name.stdout.txt"; then
+    echo "error: $name exited nonzero (see $SCRATCH/$name.stdout.txt)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+# Any paper-vs-measured row that disagrees is a regression: fail loudly
+# instead of burying "DIFFERS" in scratch output nobody reads.
+if grep -q 'DIFFERS' "$SCRATCH"/*.stdout.txt 2>/dev/null; then
+  echo "error: paper-vs-measured mismatch (DIFFERS rows):" >&2
+  grep -H 'DIFFERS' "$SCRATCH"/*.stdout.txt >&2
+  failures=$((failures + 1))
+fi
+if [ "$failures" -ne 0 ]; then
+  echo "error: $failures failure(s); baseline not written" >&2
+  exit 1
+fi
+
+if ! compgen -G "$SCRATCH/*.bench.json" > /dev/null; then
+  echo "error: no bench reports captured in $SCRATCH (was --benchmark_out" >&2
+  echo "overridden via QSYN_BENCH_ARGS?); baseline not written" >&2
+  exit 1
+fi
+
+python3 - "$OUT_FILE" "$SCRATCH"/*.bench.json <<'PYEOF'
+import json
+import os
+import sys
+
+out_file, report_files = sys.argv[1], sys.argv[2:]
+aggregate = {"schema": "qsyn-bench-baseline-v1", "benches": {}}
+for path in report_files:
+    name = os.path.basename(path)[: -len(".bench.json")]
+    # Benches that only regenerate a paper artifact register no
+    # google-benchmark timings and leave the out-file empty.
+    if os.path.getsize(path) == 0:
+        aggregate["benches"][name] = {"benchmarks": []}
+        continue
+    with open(path) as fh:
+        aggregate["benches"][name] = json.load(fh)
+with open(out_file, "w") as fh:
+    json.dump(aggregate, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out_file} ({len(report_files)} bench reports)")
+PYEOF
