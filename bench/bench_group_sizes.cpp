@@ -10,8 +10,11 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "gates/cascade.h"
+#include "gates/library.h"
+#include "mvl/domain.h"
 #include "perm/cosets.h"
 #include "perm/perm_group.h"
+#include "synth/fmcf.h"
 #include "synth/specs.h"
 #include "synth/universality.h"
 
@@ -65,6 +68,30 @@ void bm_schreier_sims_feynman_peres(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_schreier_sims_feynman_peres)->Unit(benchmark::kMicrosecond);
+
+void bm_fmcf_group_coverage_cost6(benchmark::State& state) {
+  // How fast the FMCF closure accumulates |G[0..6]| (697 of the 5040
+  // elements of G) — the group-size computation done by enumeration rather
+  // than Schreier-Sims, across the sweep's thread axis.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  for (auto _ : state) {
+    synth::FmcfOptions options;
+    options.track_witnesses = false;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    synth::FmcfEnumerator enumerator(library, options);
+    enumerator.run_to(6);
+    std::size_t cumulative = 1;  // G[0]
+    for (const auto& level : enumerator.stats()) cumulative += level.g_new;
+    benchmark::DoNotOptimize(cumulative);
+  }
+}
+BENCHMARK(bm_fmcf_group_coverage_cost6)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 void bm_membership_test(benchmark::State& state) {
   const perm::PermGroup g = synth::group_with_feynman({synth::peres_perm()});

@@ -32,6 +32,8 @@ void regenerate_table2() {
   synth::FmcfOptions options;
   options.track_witnesses = false;  // pure counting
   synth::FmcfEnumerator enumerator(library, options);
+  std::printf("  sweep threads: %zu (QSYN_THREADS overrides)\n",
+              enumerator.threads());
   enumerator.run_to(7);
 
   const long long paper_g[8] = {1, 6, 30, 52, 84, 156, 398, 540};
@@ -59,31 +61,49 @@ void regenerate_table2() {
               enumerator.seen_count());
 }
 
-void bm_fmcf_to_cost5(benchmark::State& state) {
+void run_closure_sweep(benchmark::State& state, unsigned max_cost,
+                       std::size_t threads) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
   for (auto _ : state) {
     synth::FmcfOptions options;
     options.track_witnesses = false;
+    options.threads = threads;
     synth::FmcfEnumerator enumerator(library, options);
-    enumerator.run_to(5);
+    enumerator.run_to(max_cost);
     benchmark::DoNotOptimize(enumerator.seen_count());
   }
+}
+
+// The unsuffixed single-threaded sweeps keep the seed baseline's benchmark
+// names, so name-based deltas against BENCH_seed.json keep working; the
+// threads axis lives in the *_threads variants.
+void bm_fmcf_to_cost5(benchmark::State& state) {
+  run_closure_sweep(state, 5, 1);
 }
 BENCHMARK(bm_fmcf_to_cost5)->Unit(benchmark::kMillisecond);
 
+void bm_fmcf_to_cost5_threads(benchmark::State& state) {
+  run_closure_sweep(state, 5, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(bm_fmcf_to_cost5_threads)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("threads")
+    ->Arg(4);
+
 void bm_fmcf_to_cost7(benchmark::State& state) {
-  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
-  const gates::GateLibrary library(domain);
-  for (auto _ : state) {
-    synth::FmcfOptions options;
-    options.track_witnesses = false;
-    synth::FmcfEnumerator enumerator(library, options);
-    enumerator.run_to(7);
-    benchmark::DoNotOptimize(enumerator.seen_count());
-  }
+  run_closure_sweep(state, 7, 1);
 }
 BENCHMARK(bm_fmcf_to_cost7)->Unit(benchmark::kMillisecond);
+
+void bm_fmcf_to_cost7_threads(benchmark::State& state) {
+  run_closure_sweep(state, 7, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(bm_fmcf_to_cost7_threads)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("threads")
+    ->Arg(2)
+    ->Arg(4);
 
 }  // namespace
 

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   synth::McExpressor mce(library, 7);
   const synth::WeightedSynthesizer nmr(library,
                                        gates::CostModel::nmr_like());
+  std::printf("FMCF sweep threads: %zu (set QSYN_THREADS to override)\n\n",
+              mce.enumerator().threads());
 
   if (argc > 1) {
     try {

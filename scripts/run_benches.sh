@@ -6,6 +6,11 @@
 #   BUILD_DIR  build tree containing bench/ binaries   (default: build)
 #   OUT_FILE   aggregated baseline JSON                (default: BENCH_seed.json)
 #
+# BENCH_seed.json is the committed perf baseline. Optimisation PRs should run
+#   scripts/run_benches.sh build BENCH_pr<N>.json
+# and report deltas vs BENCH_seed.json in the PR description instead of
+# overwriting the seed baseline.
+#
 # Timings are captured via --benchmark_out (see bench/bench_util.h), NOT by
 # redirecting stdout: stdout carries the human-readable paper-vs-measured
 # tables, which would corrupt redirected JSON. Extra google-benchmark flags

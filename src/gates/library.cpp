@@ -97,6 +97,22 @@ std::vector<std::size_t> GateLibrary::controlled_indices() const {
   return out;
 }
 
+GateLibrary GateLibrary::restricted_to(
+    const std::vector<std::size_t>& indices) const {
+  QSYN_CHECK(!indices.empty(), "a gate library cannot be empty");
+  GateLibrary out;
+  out.domain_ = domain_;
+  out.gates_.reserve(indices.size());
+  out.perms_.reserve(indices.size());
+  out.classes_.reserve(indices.size());
+  for (const std::size_t index : indices) {
+    out.gates_.push_back(gate(index));
+    out.perms_.push_back(permutation(index));
+    out.classes_.push_back(banned_class_of(index));
+  }
+  return out;
+}
+
 std::size_t GateLibrary::adjoint_index(std::size_t index) const {
   const Gate adj = gate(index).adjoint();
   for (std::size_t i = 0; i < gates_.size(); ++i) {

@@ -55,8 +55,17 @@ class GateLibrary {
   /// Index of the adjoint gate of gate `index` (an involution on L).
   [[nodiscard]] std::size_t adjoint_index(std::size_t index) const;
 
+  /// A library over the same domain containing only the given gate indices
+  /// (in the given order). Used by ablations and by tests that need a tiny
+  /// library whose closure saturates early.
+  [[nodiscard]] GateLibrary restricted_to(
+      const std::vector<std::size_t>& indices) const;
+
  private:
-  const mvl::PatternDomain* domain_;  // non-owning; domains outlive libraries
+  GateLibrary() = default;
+
+  // Non-owning; domains outlive libraries.
+  const mvl::PatternDomain* domain_ = nullptr;
   std::vector<Gate> gates_;
   std::vector<perm::Permutation> perms_;
   std::vector<mvl::BannedClass> classes_;

@@ -23,13 +23,17 @@ void FlatPermStore::push_back(const std::uint8_t* row_bytes) {
 
 void FlatPermStore::push_back(const perm::Permutation& p) {
   QSYN_CHECK(p.degree() == width_, "permutation degree mismatch");
-  const std::size_t offset = bytes_.size();
-  bytes_.resize(offset + width_);
-  for (std::size_t s = 0; s < width_; ++s) {
-    bytes_[offset + s] =
-        static_cast<std::uint8_t>(p.apply(static_cast<std::uint32_t>(s + 1)) -
-                                  1);
+  push_back(encode_row(p).data());
+}
+
+std::vector<std::uint8_t> FlatPermStore::encode_row(
+    const perm::Permutation& p) {
+  std::vector<std::uint8_t> row(p.degree());
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    row[s] = static_cast<std::uint8_t>(
+        p.apply(static_cast<std::uint32_t>(s + 1)) - 1);
   }
+  return row;
 }
 
 perm::Permutation FlatPermStore::permutation(std::size_t i) const {
@@ -136,6 +140,11 @@ bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
     }
   }
   return false;
+}
+
+void FlatPermStore::append(const FlatPermStore& other) {
+  QSYN_CHECK(width_ == other.width_, "width mismatch");
+  bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
 }
 
 void FlatPermStore::clear() {

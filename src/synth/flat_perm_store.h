@@ -57,6 +57,16 @@ class FlatPermStore {
   /// Binary search in a sorted store.
   [[nodiscard]] bool contains_sorted(const std::uint8_t* row_bytes) const;
 
+  /// Encodes `p` as a degree-wide label row (the store's row format).
+  [[nodiscard]] static std::vector<std::uint8_t> encode_row(
+      const perm::Permutation& p);
+
+  /// Appends every row of `other` as-is (no ordering requirements).
+  void append(const FlatPermStore& other);
+
+  /// Removes all rows but keeps the allocation (hot-loop buffer reuse).
+  void clear_keep_capacity() { bytes_.clear(); }
+
   /// Releases all memory.
   void clear();
 

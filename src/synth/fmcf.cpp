@@ -4,8 +4,30 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace qsyn::synth {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  return requested != 0 ? requested : ThreadPool::default_thread_count();
+}
+
+std::size_t resolve_shards(std::size_t requested, std::size_t threads) {
+  if (requested != 0) {
+    QSYN_CHECK(requested <= 65536, "shard count must be in [1, 65536]");
+    return requested;
+  }
+  if (threads <= 1) return 1;
+  // ~4 shards per worker keeps the per-shard sort/subtract/merge rounds
+  // load-balanced; a power of two keeps the prefix routing even.
+  std::size_t shards = 1;
+  while (shards < 4 * threads && shards < 256) shards <<= 1;
+  return shards;
+}
+
+}  // namespace
 
 FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
                                FmcfOptions options)
@@ -13,7 +35,9 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
       options_(options),
       width_(library.domain().size()),
       binary_count_(library.domain().binary_count()),
-      seen_(library.domain().size()) {
+      threads_(resolve_threads(options.threads)),
+      shards_(resolve_shards(options.shards, threads_)),
+      seen_(library.domain().size(), shards_) {
   const mvl::PatternDomain& domain = library.domain();
   QSYN_CHECK(domain.wires() <= 4,
              "FMCF G-set keys support up to 4 wires (16 binary labels)");
@@ -59,6 +83,10 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
   g_index_.emplace(id_key, GEntry{0, 0});
 }
 
+FmcfEnumerator::~FmcfEnumerator() = default;
+FmcfEnumerator::FmcfEnumerator(FmcfEnumerator&&) noexcept = default;
+FmcfEnumerator& FmcfEnumerator::operator=(FmcfEnumerator&&) noexcept = default;
+
 std::uint32_t FmcfEnumerator::banned_mask_of_row(
     const std::uint8_t* row) const {
   std::uint32_t mask = 0;
@@ -86,41 +114,104 @@ std::uint64_t FmcfEnumerator::g_key_of_row(const std::uint8_t* row) const {
 }
 
 const FmcfLevelStats& FmcfEnumerator::advance() {
+  if (saturated()) return stats_.back();
+  // Workers spawn on the first sweep, not at construction, so enumerators
+  // that only probe already-computed levels stay thread-free.
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   Stopwatch timer;
   const unsigned k = levels_done() + 1;
   const FlatPermStore& previous = frontiers_.back();
   QSYN_CHECK(!previous.empty() || k == 1,
              "closure already exhausted (empty frontier)");
 
-  FlatPermStore fresh(width_);
-  FlatPermStore chunk(width_);
-  std::vector<std::uint8_t> out(width_);
+  const std::size_t gate_count = gate_tables_.size();
+  ShardedPermStore sharded_fresh(width_, shards_);
 
-  auto flush_chunk = [&]() {
-    if (chunk.empty()) return;
-    chunk.sort_unique();
-    chunk.subtract_sorted(seen_);
-    chunk.subtract_sorted(fresh);
-    fresh.merge_sorted(chunk);
-    chunk.clear();
-  };
+  if (gate_count > 0 && !previous.empty()) {
+    // Worker-local per-shard buffers: phase 1 routes products into
+    // locals[worker][shard] without any synchronization, phase 2 drains
+    // every worker's buffer for one shard from a single thread. Appending
+    // order across workers is scheduling-dependent, but each shard is
+    // sort_unique'd before use, so the resulting *sets* — and hence every
+    // stat — are identical to the single-threaded sweep. With one worker
+    // the expansion runs inline on the caller, so it writes straight into
+    // shard_chunks and skips the local-buffer copy.
+    std::vector<std::vector<FlatPermStore>> locals(threads_ > 1 ? threads_ : 0);
+    for (auto& per_worker : locals) {
+      per_worker.reserve(shards_);
+      for (std::size_t s = 0; s < shards_; ++s) per_worker.emplace_back(width_);
+    }
+    std::vector<FlatPermStore> shard_chunks;
+    shard_chunks.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) shard_chunks.emplace_back(width_);
+    std::vector<std::vector<std::uint8_t>> outs(
+        threads_, std::vector<std::uint8_t>(width_));
 
-  for (std::size_t i = 0; i < previous.size(); ++i) {
-    const std::uint8_t* row = previous.row(i);
-    const std::uint32_t banned =
-        options_.use_banned_sets ? banned_mask_of_row(row) : 0u;
-    for (std::size_t g = 0; g < gate_tables_.size(); ++g) {
-      if ((banned & gate_class_bits_[g]) != 0) continue;
-      const std::uint8_t* table = gate_tables_[g].data();
-      for (std::size_t s = 0; s < width_; ++s) out[s] = table[row[s]];
-      chunk.push_back(out.data());
-      if (chunk.size() >= options_.chunk_rows) flush_chunk();
+    // A super-chunk expands to at most chunk_rows candidate rows before the
+    // per-shard set algebra drains the buffers. Threaded sweeps hold each
+    // candidate twice at the drain (worker-local buffer + shard chunk), so
+    // they use half-size super-chunks to keep peak memory at the same
+    // chunk_rows bound as the single-threaded sweep.
+    const std::size_t candidate_budget =
+        threads_ > 1 ? options_.chunk_rows / 2 : options_.chunk_rows;
+    const std::size_t rows_per_super =
+        std::max<std::size_t>(1, candidate_budget / gate_count);
+
+    for (std::size_t super = 0; super < previous.size();
+         super += rows_per_super) {
+      const std::size_t super_end =
+          std::min(previous.size(), super + rows_per_super);
+      const std::size_t super_rows = super_end - super;
+      // Small blocks load-balance the uneven banned-set pruning; at least
+      // 4 blocks per worker, capped so tiny frontiers stay single-block.
+      const std::size_t block_rows = std::max<std::size_t>(
+          1, std::min<std::size_t>(4096, super_rows / (4 * threads_) + 1));
+      const std::size_t blocks = (super_rows + block_rows - 1) / block_rows;
+      pool_->run(blocks, [&](std::size_t block, std::size_t worker) {
+        std::vector<std::uint8_t>& out = outs[worker];
+        std::vector<FlatPermStore>& buffers =
+            threads_ > 1 ? locals[worker] : shard_chunks;
+        const bool route = shards_ > 1;  // shard_of divides; skip for 1 shard
+        const std::size_t begin = super + block * block_rows;
+        const std::size_t end = std::min(super_end, begin + block_rows);
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint8_t* row = previous.row(i);
+          const std::uint32_t banned =
+              options_.use_banned_sets ? banned_mask_of_row(row) : 0u;
+          for (std::size_t g = 0; g < gate_count; ++g) {
+            if ((banned & gate_class_bits_[g]) != 0) continue;
+            const std::uint8_t* table = gate_tables_[g].data();
+            for (std::size_t s = 0; s < width_; ++s) out[s] = table[row[s]];
+            buffers[route ? sharded_fresh.shard_of(out.data()) : 0].push_back(
+                out.data());
+          }
+        }
+      });
+      pool_->run(shards_, [&](std::size_t s, std::size_t) {
+        FlatPermStore& chunk = shard_chunks[s];
+        for (auto& per_worker : locals) {
+          chunk.append(per_worker[s]);
+          per_worker[s].clear_keep_capacity();
+        }
+        if (chunk.empty()) return;
+        chunk.sort_unique();
+        chunk.subtract_sorted(seen_.shard(s));
+        chunk.subtract_sorted(sharded_fresh.shard(s));
+        sharded_fresh.shard(s).merge_sorted(chunk);
+        chunk.clear_keep_capacity();
+      });
     }
   }
-  flush_chunk();
 
-  // fresh is now B[k], sorted. Update A[k].
-  seen_.merge_sorted(fresh);
+  // sharded_fresh is now B[k], shard-sorted. Update A[k] per shard.
+  pool_->run(shards_, [&](std::size_t s, std::size_t) {
+    seen_.shard(s).merge_sorted(sharded_fresh.shard(s));
+  });
+
+  // The shard partition is monotone, so flattening yields B[k] globally
+  // sorted — byte-identical to the single-threaded frontier, preserving row
+  // indices for witnesses and the deterministic G-key extraction below.
+  FlatPermStore fresh = sharded_fresh.take_flatten();
 
   // Extract pre_G[k] and G[k].
   std::vector<std::uint64_t> level_keys;
@@ -174,7 +265,7 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
 }
 
 void FmcfEnumerator::run_to(unsigned max_cost) {
-  while (levels_done() < max_cost) advance();
+  while (levels_done() < max_cost && !saturated()) advance();
 }
 
 std::vector<perm::Permutation> FmcfEnumerator::g_set(unsigned k) const {

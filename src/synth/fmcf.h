@@ -15,10 +15,18 @@
 //
 // The enumerator runs level by level (advance()), storing each frontier as a
 // sorted flat byte store, so the paper's memory bound cb can be pushed well
-// past 7 on a modern machine (see bench_beyond_cb7).
+// past 7 on a modern machine (see bench_beyond_cb7). Each level is swept in
+// parallel: the frontier expansion fans out over a worker pool and the set
+// algebra runs per shard of a lexicographically partitioned store
+// (ShardedPermStore), with results — including every per-level stat —
+// byte-identical to the single-threaded sweep. When the library exhausts its
+// reachable group below the requested bound the closure saturates:
+// saturated() turns true, and advance()/run_to() become no-ops instead of
+// crashing on the empty frontier.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +35,11 @@
 #include "gates/library.h"
 #include "perm/permutation.h"
 #include "synth/flat_perm_store.h"
+#include "synth/sharded_perm_store.h"
+
+namespace qsyn {
+class ThreadPool;
+}
 
 namespace qsyn::synth {
 
@@ -43,6 +56,18 @@ struct FmcfOptions {
   /// Candidate-buffer chunk size (rows) for the level expansion; bounds peak
   /// memory at deep levels.
   std::size_t chunk_rows = std::size_t(1) << 24;
+
+  /// Worker threads for the level sweep. 0 = the QSYN_THREADS environment
+  /// variable when set to a positive integer, else
+  /// std::thread::hardware_concurrency(). The per-level stats are
+  /// thread-count-invariant (byte-identical to the single-threaded sweep).
+  std::size_t threads = 0;
+
+  /// Shards of the seen-set and per-level stores. 0 = derived from the
+  /// resolved thread count (1 when single-threaded, else ~4x threads rounded
+  /// up to a power of two). A perf/memory knob only: results never depend on
+  /// the shard count.
+  std::size_t shards = 0;
 };
 
 /// Per-level statistics, one entry per computed cost k >= 1.
@@ -69,12 +94,28 @@ class FmcfEnumerator {
   /// packed into 64 bits).
   explicit FmcfEnumerator(const gates::GateLibrary& library,
                           FmcfOptions options = {});
+  ~FmcfEnumerator();
+
+  FmcfEnumerator(FmcfEnumerator&&) noexcept;
+  FmcfEnumerator& operator=(FmcfEnumerator&&) noexcept;
 
   /// Computes the next level (k = levels_done()+1) and returns its stats.
+  /// Once the closure is saturated() this is a no-op returning the last
+  /// level's stats.
   const FmcfLevelStats& advance();
 
-  /// Runs advance() until `max_cost` levels are done.
+  /// Runs advance() until `max_cost` levels are done or the closure
+  /// saturates, whichever comes first.
   void run_to(unsigned max_cost);
+
+  /// True when the closure is exhausted: the last computed frontier is
+  /// empty, so no deeper level can contain new circuits.
+  [[nodiscard]] bool saturated() const {
+    return !stats_.empty() && stats_.back().frontier == 0;
+  }
+
+  /// Resolved worker-thread count used by the level sweep.
+  [[nodiscard]] std::size_t threads() const { return threads_; }
 
   [[nodiscard]] unsigned levels_done() const {
     return static_cast<unsigned>(stats_.size());
@@ -124,12 +165,15 @@ class FmcfEnumerator {
   FmcfOptions options_;
   std::size_t width_;          // domain size (38 for 3 wires)
   std::size_t binary_count_;   // 2^n
+  std::size_t threads_;        // resolved worker count (>= 1)
+  std::size_t shards_;         // resolved shard count (>= 1)
+  std::unique_ptr<ThreadPool> pool_;  // created lazily by advance()
   std::vector<std::vector<std::uint8_t>> gate_tables_;      // [gate][label0]
   std::vector<std::vector<std::uint8_t>> gate_inv_tables_;  // [gate][label0]
   std::vector<std::uint32_t> gate_class_bits_;              // [gate]
   std::vector<std::uint32_t> label_banned_;                 // [label0]
 
-  FlatPermStore seen_;                   // A[k], sorted
+  ShardedPermStore seen_;                // A[k], shard-sorted
   std::vector<FlatPermStore> frontiers_; // B[0..k]; emptied if !track_witnesses
   std::vector<FmcfLevelStats> stats_;
 

@@ -6,8 +6,20 @@
 
 namespace qsyn::synth {
 
-McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost)
-    : library_(&library), max_cost_(max_cost), fmcf_(library) {}
+namespace {
+
+FmcfOptions with_witnesses(FmcfOptions options) {
+  options.track_witnesses = true;  // MCE reconstructs cascades
+  return options;
+}
+
+}  // namespace
+
+McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost,
+                         FmcfOptions fmcf_options)
+    : library_(&library),
+      max_cost_(max_cost),
+      fmcf_(library, with_witnesses(fmcf_options)) {}
 
 McExpressor::Stripped McExpressor::strip_not_coset(
     const perm::Permutation& target) const {
@@ -41,7 +53,11 @@ McExpressor::Stripped McExpressor::strip_not_coset(
 
 std::optional<GEntry> McExpressor::locate(const perm::Permutation& core) {
   auto entry = fmcf_.find(core);
-  while (!entry.has_value() && fmcf_.levels_done() < max_cost_) {
+  // Stop at saturation: once the closure exhausts the reachable group below
+  // max_cost, the target is simply not realizable over this library
+  // (advance() would otherwise no-op forever).
+  while (!entry.has_value() && fmcf_.levels_done() < max_cost_ &&
+         !fmcf_.saturated()) {
     fmcf_.advance();
     entry = fmcf_.find(core);
   }
@@ -100,7 +116,8 @@ std::optional<unsigned> McExpressor::minimal_cost(
 
 std::size_t McExpressor::count_sequences(const perm::Permutation& target,
                                          unsigned cost) {
-  QSYN_CHECK(cost >= 1 && cost <= 7, "count_sequences supports cost 1..7");
+  QSYN_CHECK(cost >= 1 && cost <= max_cost_,
+             "count_sequences supports cost 1..max_cost()");
   const Stripped stripped = strip_not_coset(target);
   const mvl::PatternDomain& domain = library_->domain();
   const std::size_t width = domain.size();

@@ -39,8 +39,11 @@ struct SynthesisResult {
 /// across calls, deepening it on demand up to `max_cost` (the paper's cb).
 class McExpressor {
  public:
-  explicit McExpressor(const gates::GateLibrary& library,
-                       unsigned max_cost = 7);
+  /// `fmcf_options` configures the underlying closure (thread count,
+  /// witness tracking, chunking); witness tracking is always forced on,
+  /// since MCE exists to reconstruct cascades.
+  explicit McExpressor(const gates::GateLibrary& library, unsigned max_cost = 7,
+                       FmcfOptions fmcf_options = {});
 
   /// Synthesizes a minimal realization, or nullopt when the minimal cost
   /// exceeds max_cost (the paper's flag = 0 case). The target permutation
@@ -57,7 +60,7 @@ class McExpressor {
 
   /// Exhaustively counts the *gate sequences* of length exactly `cost` that
   /// realize the target (reasonable cascades only; NOT prefix excluded).
-  /// Exponential in `cost`; guarded to cost <= 7.
+  /// Exponential in `cost`; guarded to cost <= max_cost().
   [[nodiscard]] std::size_t count_sequences(const perm::Permutation& target,
                                             unsigned cost);
 

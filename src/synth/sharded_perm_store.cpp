@@ -1,0 +1,88 @@
+#include "synth/sharded_perm_store.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace qsyn::synth {
+
+ShardedPermStore::ShardedPermStore(std::size_t width, std::size_t shard_count)
+    : width_(width) {
+  QSYN_CHECK(shard_count >= 1 && shard_count <= 65536,
+             "shard count must be in [1, 65536]");
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) shards_.emplace_back(width);
+}
+
+std::size_t ShardedPermStore::size() const {
+  std::size_t total = 0;
+  for (const FlatPermStore& s : shards_) total += s.size();
+  return total;
+}
+
+void ShardedPermStore::push_back(const std::uint8_t* row_bytes) {
+  shards_[shard_of(row_bytes)].push_back(row_bytes);
+}
+
+void ShardedPermStore::push_back(const perm::Permutation& p) {
+  QSYN_CHECK(p.degree() == width_, "permutation degree mismatch");
+  push_back(FlatPermStore::encode_row(p).data());
+}
+
+void ShardedPermStore::sort_unique() {
+  for (FlatPermStore& s : shards_) s.sort_unique();
+}
+
+void ShardedPermStore::subtract_sorted(const ShardedPermStore& other) {
+  QSYN_CHECK(width_ == other.width_ && shard_count() == other.shard_count(),
+             "sharded store layout mismatch");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].subtract_sorted(other.shards_[s]);
+  }
+}
+
+void ShardedPermStore::merge_sorted(const ShardedPermStore& other) {
+  QSYN_CHECK(width_ == other.width_ && shard_count() == other.shard_count(),
+             "sharded store layout mismatch");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].merge_sorted(other.shards_[s]);
+  }
+}
+
+bool ShardedPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
+  return shards_[shard_of(row_bytes)].contains_sorted(row_bytes);
+}
+
+FlatPermStore ShardedPermStore::flatten() const {
+  FlatPermStore out(width_);
+  out.reserve_rows(size());
+  for (const FlatPermStore& s : shards_) out.append(s);
+  return out;
+}
+
+FlatPermStore ShardedPermStore::take_flatten() {
+  if (shards_.size() == 1) {
+    FlatPermStore out = std::move(shards_[0]);
+    shards_[0].clear();
+    return out;
+  }
+  FlatPermStore out(width_);
+  out.reserve_rows(size());
+  for (FlatPermStore& s : shards_) {
+    out.append(s);
+    s.clear();
+  }
+  return out;
+}
+
+void ShardedPermStore::clear() {
+  for (FlatPermStore& s : shards_) s.clear();
+}
+
+std::size_t ShardedPermStore::memory_bytes() const {
+  std::size_t total = 0;
+  for (const FlatPermStore& s : shards_) total += s.memory_bytes();
+  return total;
+}
+
+}  // namespace qsyn::synth

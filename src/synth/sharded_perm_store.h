@@ -1,0 +1,93 @@
+// qsyn/synth/sharded_perm_store.h
+//
+// A FlatPermStore partitioned into disjoint lexicographic key ranges.
+//
+// Rows hold domain labels in [0, width), so routing scales the leading
+// label pair row[0]*width + row[1] over width^2 — labels never approach
+// 255, and a raw byte prefix would park every row in the first few shards.
+// The shard index is monotone in the rows' lexicographic order: shard 0
+// owns the smallest rows, the last shard the largest, and concatenating
+// sorted shards in shard order yields a globally sorted store (flatten()).
+// Because shards own disjoint ranges, the set algebra of FlatPermStore
+// (sort/unique/subtract/merge) decomposes into independent per-shard calls —
+// this is what the multi-threaded FMCF closure parallelizes over.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "synth/flat_perm_store.h"
+
+namespace qsyn::synth {
+
+/// `shard_count` sorted FlatPermStores over disjoint key ranges.
+class ShardedPermStore {
+ public:
+  /// `width` as in FlatPermStore; `shard_count` in [1, 65536].
+  ShardedPermStore(std::size_t width, std::size_t shard_count);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Index of the shard owning `row_bytes` (monotone in row order). Even
+  /// spread and monotonicity assume label rows (bytes < width); bytes out
+  /// of that range are clamped, which stays in bounds but may skew or
+  /// reorder routing.
+  [[nodiscard]] std::size_t shard_of(const std::uint8_t* row_bytes) const {
+    const std::size_t b0 = std::min<std::size_t>(row_bytes[0], width_ - 1);
+    const std::size_t b1 =
+        width_ > 1 ? std::min<std::size_t>(row_bytes[1], width_ - 1) : 0;
+    return (b0 * width_ + b1) * shards_.size() / (width_ * width_);
+  }
+
+  [[nodiscard]] FlatPermStore& shard(std::size_t s) { return shards_[s]; }
+  [[nodiscard]] const FlatPermStore& shard(std::size_t s) const {
+    return shards_[s];
+  }
+
+  /// Total rows across all shards.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Routes one row to its owning shard.
+  void push_back(const std::uint8_t* row_bytes);
+  void push_back(const perm::Permutation& p);
+
+  /// Per-shard sort_unique (shards are independent; callers may instead
+  /// invoke shard(s).sort_unique() from worker threads).
+  void sort_unique();
+
+  /// Shard-wise set difference / union; `other` must have the same width
+  /// and shard count, and both stores must be shard-sorted.
+  void subtract_sorted(const ShardedPermStore& other);
+  void merge_sorted(const ShardedPermStore& other);
+
+  /// Binary search in the owning shard (store must be shard-sorted).
+  [[nodiscard]] bool contains_sorted(const std::uint8_t* row_bytes) const;
+
+  /// Concatenates the shards in shard order. When every shard is sorted the
+  /// result is globally sorted (the partition is monotone).
+  [[nodiscard]] FlatPermStore flatten() const;
+
+  /// Like flatten(), but destructive: a lone shard is moved out without a
+  /// copy; otherwise each shard is released right after it is copied into
+  /// the preallocated result, so resident memory stays near one store's
+  /// worth of rows (the result's pages are touched only as shards drain)
+  /// instead of holding source and result fully populated at once. Leaves
+  /// this store empty.
+  [[nodiscard]] FlatPermStore take_flatten();
+
+  /// Releases all memory.
+  void clear();
+
+  /// Bytes of heap memory currently held.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::size_t width_;
+  std::vector<FlatPermStore> shards_;
+};
+
+}  // namespace qsyn::synth

@@ -293,6 +293,114 @@ TEST(FmcfAblation, NoBannedSetsInflatesClosure) {
   EXPECT_GT(free_walk.stats()[2].frontier, pruned.stats()[2].frontier);
 }
 
+TEST(FmcfSaturation, TinyLibrarySaturatesWithoutCrashing) {
+  // Regression: advance() used to fire QSYN_CHECK(!previous.empty()) once
+  // the closure exhausted the reachable group, so run_to() past saturation
+  // crashed instead of reporting the group as exhausted. A two-gate library
+  // (just the Feynman pair on wires A, B) saturates within a handful of
+  // levels.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary full(domain);
+  const gates::GateLibrary tiny = full.restricted_to(full.feynman_subset(0, 1));
+  FmcfEnumerator e(tiny);
+  e.run_to(64);  // must stop at saturation, not throw
+  EXPECT_TRUE(e.saturated());
+  EXPECT_LT(e.levels_done(), 64u);
+  ASSERT_FALSE(e.stats().empty());
+  EXPECT_EQ(e.stats().back().frontier, 0u);
+
+  // Past saturation, advance() is a no-op returning the last level.
+  const std::size_t levels = e.levels_done();
+  const auto& repeated = e.advance();
+  EXPECT_EQ(e.levels_done(), levels);
+  EXPECT_EQ(repeated.frontier, 0u);
+  EXPECT_EQ(repeated.cost, e.stats().back().cost);
+}
+
+TEST(FmcfSaturation, SeenCountStopsGrowingAtSaturation) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary full(domain);
+  const gates::GateLibrary tiny = full.restricted_to(full.feynman_subset(0, 1));
+  FmcfEnumerator e(tiny);
+  e.run_to(64);
+  const std::size_t saturated_seen = e.seen_count();
+  e.run_to(100);  // further runs are no-ops
+  EXPECT_EQ(e.seen_count(), saturated_seen);
+  // The closure of {FAB, FBA} is a permutation group on the domain; every
+  // reachable element was enumerated, so the seen set is its full order.
+  EXPECT_GT(saturated_seen, 1u);
+}
+
+TEST(FmcfThreads, MultiThreadedStatsMatchSingleThreaded) {
+  // The acceptance bar for the parallel sweep: identical per-level stats
+  // (frontier / pre_G / G_new / seen) at cb = 7, regardless of thread or
+  // shard count.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+
+  FmcfOptions single;
+  single.threads = 1;
+  single.track_witnesses = false;
+  FmcfEnumerator reference(library, single);
+  reference.run_to(7);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    FmcfOptions parallel;
+    parallel.threads = threads;
+    parallel.shards = 16;
+    parallel.track_witnesses = false;
+    FmcfEnumerator e(library, parallel);
+    EXPECT_EQ(e.threads(), threads);
+    e.run_to(7);
+    ASSERT_EQ(e.stats().size(), reference.stats().size());
+    for (std::size_t k = 0; k < reference.stats().size(); ++k) {
+      const FmcfLevelStats& expected = reference.stats()[k];
+      const FmcfLevelStats& got = e.stats()[k];
+      EXPECT_EQ(got.cost, expected.cost);
+      EXPECT_EQ(got.frontier, expected.frontier) << "cost " << expected.cost;
+      EXPECT_EQ(got.pre_g, expected.pre_g) << "cost " << expected.cost;
+      EXPECT_EQ(got.g_new, expected.g_new) << "cost " << expected.cost;
+      EXPECT_EQ(got.seen, expected.seen) << "cost " << expected.cost;
+    }
+    EXPECT_EQ(e.seen_count(), reference.seen_count());
+  }
+}
+
+TEST(FmcfThreads, WitnessesSurviveThreadedSweep) {
+  // The flattened frontiers must stay globally sorted so the back-walk's
+  // binary searches and row indices keep working under threading.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions options;
+  options.threads = 4;
+  options.shards = 8;
+  FmcfEnumerator e(library, options);
+  e.run_to(5);
+  const auto toffoli = e.find(toffoli_perm());
+  ASSERT_TRUE(toffoli.has_value());
+  EXPECT_EQ(toffoli->cost, 5u);
+  const gates::Cascade witness = e.witness(*toffoli);
+  EXPECT_EQ(witness.size(), 5u);
+  EXPECT_EQ(witness.to_binary_permutation(), toffoli_perm());
+  EXPECT_EQ(e.implementations(toffoli_perm(), 5).size(), 4u);
+}
+
+TEST(FmcfThreads, ShardingAloneIsInvariant) {
+  // Shards without threads: the sharded store must not change any count.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions sharded;
+  sharded.threads = 1;
+  sharded.shards = 32;
+  sharded.track_witnesses = false;
+  FmcfEnumerator e(library, sharded);
+  e.run_to(5);
+  const std::size_t expected_g[5] = {6, 24, 51, 84, 156};
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(e.stats()[k].g_new, expected_g[k]);
+  }
+}
+
 TEST(Fmcf2Wire, TwoQubitClosureRuns) {
   // The 2-wire reduced domain (8 labels, 6 gates): CNOT circuits on 2 wires
   // reach exactly the 6 invertible linear maps of GL(2,2) at costs 0..3.

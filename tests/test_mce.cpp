@@ -176,6 +176,62 @@ TEST_F(Mce3, CountSequencesGuards) {
                qsyn::LogicError);
 }
 
+TEST(McExpressorBounds, CountSequencesHonorsMaxCost) {
+  // Regression: the guard was hard-coded to cost <= 7 instead of the
+  // constructor's max_cost. An expressor bounded at 3 must accept exactly
+  // cost 1..3; one bounded at 8 must accept cost 8.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  McExpressor bounded(library, 3);
+  EXPECT_EQ(bounded.max_cost(), 3u);
+  // SWAP(b,c) is realizable with exactly three Feynman gates.
+  EXPECT_GE(bounded.count_sequences(swap_bc_perm(), 3), 1u);
+  EXPECT_THROW((void)bounded.count_sequences(swap_bc_perm(), 4),
+               qsyn::LogicError);
+
+  McExpressor wide(library, 8);
+  EXPECT_EQ(wide.count_sequences(swap_bc_perm(), 1), 0u);
+  // Boundary: cost == max_cost is in range and must not throw.
+  EXPECT_GE(wide.count_sequences(swap_bc_perm(), 3), 1u);
+  EXPECT_THROW((void)wide.count_sequences(swap_bc_perm(), 9),
+               qsyn::LogicError);
+}
+
+TEST(McExpressorSaturation, UnrealizableTargetReturnsNulloptNotCrash) {
+  // Regression: over a tiny library whose closure saturates below max_cost,
+  // locate() kept calling advance() on the exhausted enumerator and crashed
+  // (and, once advance() became a saturation no-op, would have spun
+  // forever). It must report "not realizable" via nullopt.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary full(domain);
+  const gates::GateLibrary tiny = full.restricted_to(full.feynman_subset(0, 1));
+  McExpressor mce(tiny, 64);
+  // Toffoli is nonlinear, the {FAB, FBA} closure is not: never realizable.
+  EXPECT_FALSE(mce.synthesize(toffoli_perm()).has_value());
+  EXPECT_FALSE(mce.minimal_cost(toffoli_perm()).has_value());
+  EXPECT_TRUE(mce.implementations(toffoli_perm()).empty());
+  EXPECT_TRUE(mce.enumerator().saturated());
+  // Targets inside the tiny closure still synthesize after saturation.
+  gates::Cascade fab(3);
+  fab.append(gates::Gate::feynman(0, 1));
+  const auto result = mce.synthesize(fab.to_binary_permutation());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->cost, 1u);
+}
+
+TEST(McExpressorThreads, ThreadedClosureSynthesizesIdentically) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions options;
+  options.threads = 4;
+  McExpressor mce(library, 7, options);
+  const auto peres = mce.synthesize(peres_perm());
+  ASSERT_TRUE(peres.has_value());
+  EXPECT_EQ(peres->cost, 4u);
+  EXPECT_TRUE(sim::realizes_permutation(peres->circuit, peres_perm()));
+  EXPECT_EQ(mce.implementations(toffoli_perm()).size(), 4u);
+}
+
 TEST_F(Mce3, DegreePadding) {
   // A degree-2 permutation (1,2) pads to the 8 binary labels.
   const auto result =

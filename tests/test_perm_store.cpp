@@ -1,0 +1,320 @@
+// Differential tests for the FlatPermStore / ShardedPermStore set algebra
+// against a std::set<std::vector<uint8_t>> reference model, plus the
+// ShardedPermStore routing invariants the parallel FMCF sweep relies on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "synth/flat_perm_store.h"
+#include "synth/sharded_perm_store.h"
+
+namespace qsyn::synth {
+namespace {
+
+using Row = std::vector<std::uint8_t>;
+using RowSet = std::set<Row>;
+
+Row random_row(Rng& rng, std::size_t width, std::uint8_t alphabet) {
+  Row row(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    row[i] = static_cast<std::uint8_t>(rng.below(alphabet));
+  }
+  return row;
+}
+
+FlatPermStore store_of(const std::vector<Row>& rows, std::size_t width) {
+  FlatPermStore store(width);
+  for (const Row& row : rows) store.push_back(row.data());
+  return store;
+}
+
+RowSet set_of(const std::vector<Row>& rows) {
+  return RowSet(rows.begin(), rows.end());
+}
+
+void expect_equals_model(const FlatPermStore& store, const RowSet& model) {
+  // A sorted, duplicate-free store enumerates exactly the model's rows in
+  // the model's (lexicographic) order.
+  ASSERT_EQ(store.size(), model.size());
+  std::size_t i = 0;
+  for (const Row& row : model) {
+    ASSERT_EQ(std::memcmp(store.row(i), row.data(), row.size()), 0)
+        << "row " << i;
+    ++i;
+  }
+}
+
+TEST(FlatPermStoreDifferential, SortUniqueRandomized) {
+  Rng rng(7001);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t width = 1 + rng.below(12);
+    const std::uint8_t alphabet =
+        static_cast<std::uint8_t>(1 + rng.below(5));  // heavy duplication
+    std::vector<Row> rows;
+    const std::size_t count = rng.below(200);
+    for (std::size_t i = 0; i < count; ++i) {
+      rows.push_back(random_row(rng, width, alphabet));
+    }
+    FlatPermStore store = store_of(rows, width);
+    store.sort_unique();
+    expect_equals_model(store, set_of(rows));
+  }
+}
+
+TEST(FlatPermStoreDifferential, SortUniqueAllDuplicates) {
+  FlatPermStore store(5);
+  const Row row = {4, 3, 2, 1, 0};
+  for (int i = 0; i < 100; ++i) store.push_back(row.data());
+  store.sort_unique();
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(std::memcmp(store.row(0), row.data(), 5), 0);
+}
+
+TEST(FlatPermStoreDifferential, SubtractRandomized) {
+  Rng rng(7002);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t width = 1 + rng.below(10);
+    const std::uint8_t alphabet = static_cast<std::uint8_t>(1 + rng.below(4));
+    std::vector<Row> a_rows;
+    std::vector<Row> b_rows;
+    for (std::size_t i = rng.below(150); i > 0; --i) {
+      a_rows.push_back(random_row(rng, width, alphabet));
+    }
+    for (std::size_t i = rng.below(150); i > 0; --i) {
+      // Bias toward overlap: half the time reuse a row from a.
+      if (!a_rows.empty() && rng.bernoulli(0.5)) {
+        b_rows.push_back(a_rows[rng.below(a_rows.size())]);
+      } else {
+        b_rows.push_back(random_row(rng, width, alphabet));
+      }
+    }
+    FlatPermStore a = store_of(a_rows, width);
+    FlatPermStore b = store_of(b_rows, width);
+    a.sort_unique();
+    b.sort_unique();
+    a.subtract_sorted(b);
+
+    RowSet model = set_of(a_rows);
+    for (const Row& row : b_rows) model.erase(row);
+    expect_equals_model(a, model);
+  }
+}
+
+TEST(FlatPermStoreDifferential, MergeRandomizedIncludingOverlap) {
+  Rng rng(7003);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t width = 1 + rng.below(10);
+    const std::uint8_t alphabet = static_cast<std::uint8_t>(1 + rng.below(4));
+    std::vector<Row> a_rows;
+    std::vector<Row> b_rows;
+    for (std::size_t i = rng.below(120); i > 0; --i) {
+      a_rows.push_back(random_row(rng, width, alphabet));
+    }
+    for (std::size_t i = rng.below(120); i > 0; --i) {
+      if (!a_rows.empty() && rng.bernoulli(0.5)) {
+        b_rows.push_back(a_rows[rng.below(a_rows.size())]);
+      } else {
+        b_rows.push_back(random_row(rng, width, alphabet));
+      }
+    }
+    FlatPermStore a = store_of(a_rows, width);
+    FlatPermStore b = store_of(b_rows, width);
+    a.sort_unique();
+    b.sort_unique();
+    a.merge_sorted(b);
+
+    RowSet model = set_of(a_rows);
+    for (const Row& row : b_rows) model.insert(row);
+    expect_equals_model(a, model);
+  }
+}
+
+TEST(FlatPermStoreDifferential, MergeFullyOverlappingIsIdempotent) {
+  Rng rng(7004);
+  std::vector<Row> rows;
+  for (int i = 0; i < 80; ++i) rows.push_back(random_row(rng, 6, 3));
+  FlatPermStore a = store_of(rows, 6);
+  a.sort_unique();
+  FlatPermStore b = store_of(rows, 6);
+  b.sort_unique();
+  const std::size_t before = a.size();
+  a.merge_sorted(b);
+  EXPECT_EQ(a.size(), before);  // duplicates across stores kept once
+}
+
+TEST(FlatPermStoreDifferential, ContainsRandomized) {
+  Rng rng(7005);
+  const std::size_t width = 8;
+  std::vector<Row> rows;
+  for (int i = 0; i < 300; ++i) rows.push_back(random_row(rng, width, 4));
+  FlatPermStore store = store_of(rows, width);
+  store.sort_unique();
+  const RowSet model = set_of(rows);
+  for (int i = 0; i < 300; ++i) {
+    const Row probe = random_row(rng, width, 4);
+    EXPECT_EQ(store.contains_sorted(probe.data()), model.count(probe) == 1);
+  }
+}
+
+TEST(FlatPermStore, AppendConcatenatesVerbatim) {
+  FlatPermStore a(3);
+  FlatPermStore b(3);
+  const Row r1 = {2, 1, 0};
+  const Row r2 = {0, 1, 2};
+  a.push_back(r1.data());
+  b.push_back(r2.data());
+  b.push_back(r1.data());
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(std::memcmp(a.row(0), r1.data(), 3), 0);
+  EXPECT_EQ(std::memcmp(a.row(1), r2.data(), 3), 0);
+  EXPECT_EQ(std::memcmp(a.row(2), r1.data(), 3), 0);
+}
+
+// --- ShardedPermStore ------------------------------------------------------------
+
+TEST(ShardedPermStore, RoutingIsMonotoneInRowOrder) {
+  // shard_of must be monotone w.r.t. lexicographic row order — that is the
+  // invariant that makes flatten() globally sorted. Rows hold domain labels
+  // in [0, width), as everywhere in the perm stores.
+  Rng rng(7100);
+  for (const std::size_t shard_count : {1u, 2u, 7u, 16u, 64u}) {
+    ShardedPermStore store(5, shard_count);
+    for (int i = 0; i < 500; ++i) {
+      Row a = random_row(rng, 5, 5);
+      Row b = random_row(rng, 5, 5);
+      if (std::memcmp(a.data(), b.data(), 5) > 0) std::swap(a, b);
+      EXPECT_LE(store.shard_of(a.data()), store.shard_of(b.data()));
+    }
+  }
+}
+
+TEST(ShardedPermStore, RoutingSpreadsLabelRowsAcrossAllShards) {
+  // Regression: an early routing scheme scaled the raw byte prefix over the
+  // full 16-bit range, but labels only reach width-1 (38 for the 3-wire
+  // domain), so all rows collapsed into the first few shards and the
+  // per-shard parallel phase ran nearly serial. Every shard must own at
+  // least one label pair.
+  for (const std::size_t width : {8u, 38u}) {
+    for (const std::size_t shard_count : {4u, 16u}) {
+      ShardedPermStore store(width, shard_count);
+      std::vector<std::size_t> hits(shard_count, 0);
+      Row row(width, 0);
+      for (std::size_t b0 = 0; b0 < width; ++b0) {
+        for (std::size_t b1 = 0; b1 < width; ++b1) {
+          row[0] = static_cast<std::uint8_t>(b0);
+          row[1] = static_cast<std::uint8_t>(b1);
+          ++hits[store.shard_of(row.data())];
+        }
+      }
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        EXPECT_GT(hits[s], 0u) << "width " << width << " shard " << s
+                               << " of " << shard_count << " never hit";
+      }
+    }
+  }
+}
+
+TEST(ShardedPermStore, FlattenEqualsSortedModel) {
+  Rng rng(7101);
+  for (const std::size_t shard_count : {1u, 3u, 8u, 32u}) {
+    const std::size_t width = 1 + rng.below(10);
+    ShardedPermStore store(width, shard_count);
+    std::vector<Row> rows;
+    for (int i = 0; i < 400; ++i) {
+      rows.push_back(random_row(rng, width, static_cast<std::uint8_t>(width)));
+      store.push_back(rows.back().data());
+    }
+    store.sort_unique();
+    expect_equals_model(store.flatten(), set_of(rows));
+    EXPECT_EQ(store.size(), set_of(rows).size());
+
+    // take_flatten yields the same rows and empties the store.
+    expect_equals_model(store.take_flatten(), set_of(rows));
+    EXPECT_TRUE(store.empty());
+  }
+}
+
+TEST(ShardedPermStore, ShardWiseAlgebraMatchesFlatAlgebra) {
+  Rng rng(7102);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t width = 2 + rng.below(10);
+    const std::uint8_t alphabet = static_cast<std::uint8_t>(width);
+    const std::size_t shard_count = 1 + rng.below(32);
+    std::vector<Row> a_rows;
+    std::vector<Row> b_rows;
+    for (std::size_t i = rng.below(200); i > 0; --i) {
+      a_rows.push_back(random_row(rng, width, alphabet));
+    }
+    for (std::size_t i = rng.below(200); i > 0; --i) {
+      if (!a_rows.empty() && rng.bernoulli(0.4)) {
+        b_rows.push_back(a_rows[rng.below(a_rows.size())]);
+      } else {
+        b_rows.push_back(random_row(rng, width, alphabet));
+      }
+    }
+    ShardedPermStore a(width, shard_count);
+    ShardedPermStore b(width, shard_count);
+    for (const Row& row : a_rows) a.push_back(row.data());
+    for (const Row& row : b_rows) b.push_back(row.data());
+    a.sort_unique();
+    b.sort_unique();
+
+    ShardedPermStore merged = a;
+    merged.merge_sorted(b);
+    RowSet union_model = set_of(a_rows);
+    for (const Row& row : b_rows) union_model.insert(row);
+    expect_equals_model(merged.flatten(), union_model);
+
+    a.subtract_sorted(b);
+    RowSet difference_model = set_of(a_rows);
+    for (const Row& row : b_rows) difference_model.erase(row);
+    expect_equals_model(a.flatten(), difference_model);
+  }
+}
+
+TEST(ShardedPermStore, ContainsSortedMatchesModel) {
+  Rng rng(7103);
+  const std::size_t width = 6;
+  ShardedPermStore store(width, 16);
+  std::vector<Row> rows;
+  for (int i = 0; i < 250; ++i) {
+    rows.push_back(random_row(rng, width, 4));
+    store.push_back(rows.back().data());
+  }
+  store.sort_unique();
+  const RowSet model = set_of(rows);
+  for (int i = 0; i < 250; ++i) {
+    const Row probe = random_row(rng, width, 4);
+    EXPECT_EQ(store.contains_sorted(probe.data()), model.count(probe) == 1);
+  }
+}
+
+TEST(ShardedPermStore, WidthOneRoutesEverythingConsistently) {
+  ShardedPermStore store(1, 8);
+  const std::uint8_t rows[3] = {0, 128, 255};
+  for (const std::uint8_t& row : rows) store.push_back(&row);
+  store.sort_unique();
+  EXPECT_EQ(store.size(), 3u);
+  const FlatPermStore flat = store.flatten();
+  EXPECT_EQ(flat.row(0)[0], 0);
+  EXPECT_EQ(flat.row(1)[0], 128);
+  EXPECT_EQ(flat.row(2)[0], 255);
+  for (const std::uint8_t& row : rows) {
+    EXPECT_TRUE(store.contains_sorted(&row));
+  }
+}
+
+TEST(ShardedPermStore, RejectsMismatchedLayouts) {
+  ShardedPermStore a(4, 8);
+  ShardedPermStore b(4, 16);
+  EXPECT_THROW(a.merge_sorted(b), qsyn::LogicError);
+  EXPECT_THROW(a.subtract_sorted(b), qsyn::LogicError);
+}
+
+}  // namespace
+}  // namespace qsyn::synth
