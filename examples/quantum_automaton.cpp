@@ -82,6 +82,20 @@ int main() {
     }
   }
 
+  // The measurement unit can swap the exact multi-valued product rule for
+  // the full Hilbert-space backend (the fused/batched engine of
+  // sim/batch.h); on a reasonable circuit both agree to rounding.
+  {
+    automata::QuantumAutomaton hilbert(*circuit, /*state_wires=*/1);
+    hilbert.set_measurement_backend(automata::MeasurementBackend::kHilbert);
+    const la::Matrix mv = machine.transition_matrix(0b10);
+    const la::Matrix hs = hilbert.transition_matrix(0b10);
+    std::printf(
+        "Hilbert-backend transition matrix matches the MV product rule: "
+        "max |diff| = %.1e\n\n",
+        mv.max_abs_diff(hs));
+  }
+
   // HMM view with the randomizing input held fixed.
   std::printf("\nHMM view (input B=1, C=0):\n");
   const automata::QuantumHmm hmm(std::move(machine), 0b10);

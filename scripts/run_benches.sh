@@ -15,6 +15,13 @@
 # redirecting stdout: stdout carries the human-readable paper-vs-measured
 # tables, which would corrupt redirected JSON. Extra google-benchmark flags
 # (e.g. --benchmark_min_time=0.1s) can be passed via QSYN_BENCH_ARGS.
+#
+# The bench_* glob below picks up every registered bench, including
+# bench_sim_batch (the fused/batched simulation engine): its
+# bm_cross_check_sweep/0 row is the unfused gate-at-a-time baseline and the
+# other fuse_block rows are the speedup evidence — compare them when
+# reporting a PR's perf delta. QSYN_SIM_FUSE / QSYN_THREADS tune the
+# engine's defaults but the bench pins its own knobs per row.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

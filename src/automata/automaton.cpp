@@ -5,6 +5,7 @@
 #include "la/lu.h"
 #include "la/vector.h"
 #include "mvl/pattern.h"
+#include "sim/batch.h"
 
 namespace qsyn::automata {
 
@@ -20,13 +21,49 @@ void QuantumAutomaton::reset(std::uint32_t state) {
   state_ = state;
 }
 
+void QuantumAutomaton::set_measurement_backend(MeasurementBackend backend) {
+  set_measurement_backend(backend, sim::SimOptions::from_env());
+}
+
+void QuantumAutomaton::set_measurement_backend(
+    MeasurementBackend backend, const sim::SimOptions& options) {
+  backend_ = backend;
+  if (backend_ == MeasurementBackend::kHilbert) {
+    sim_ = std::make_shared<sim::BatchSimulator>(options);
+  } else {
+    sim_.reset();
+  }
+}
+
+std::vector<double> QuantumAutomaton::joint_distribution(
+    std::uint32_t word) const {
+  if (backend_ == MeasurementBackend::kHilbert) {
+    const std::vector<la::Vector> out =
+        sim_->run({sim::SimJob{&circuit_, word}});
+    std::vector<double> probs(out[0].size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      probs[i] = std::norm(out[0][i]);
+    }
+    return probs;
+  }
+  const mvl::Pattern output =
+      circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), word));
+  return outcome_distribution(output);
+}
+
 std::uint32_t QuantumAutomaton::step(std::uint32_t input_bits, Rng& rng) {
   QSYN_CHECK(input_bits < (1u << input_wires()), "input out of range");
   const std::uint32_t word =
       (state_ << input_wires()) | input_bits;  // state high, input low
-  const mvl::Pattern output =
-      circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), word));
-  const std::uint32_t measured = sample_measurement(output, rng);
+  std::uint32_t measured = 0;
+  if (backend_ == MeasurementBackend::kHilbert) {
+    // Sample the joint outcome from the simulated distribution.
+    measured = sample_index(joint_distribution(word), rng);
+  } else {
+    const mvl::Pattern output =
+        circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), word));
+    measured = sample_measurement(output, rng);
+  }
   state_ = measured >> input_wires();
   return measured;
 }
@@ -36,15 +73,32 @@ std::vector<double> QuantumAutomaton::output_distribution(
   QSYN_CHECK(state < state_count(), "state out of range");
   QSYN_CHECK(input_bits < (1u << input_wires()), "input out of range");
   const std::uint32_t word = (state << input_wires()) | input_bits;
-  const mvl::Pattern output =
-      circuit_.apply(mvl::Pattern::from_binary(circuit_.wires(), word));
-  return outcome_distribution(output);
+  return joint_distribution(word);
 }
 
 la::Matrix QuantumAutomaton::transition_matrix(
     std::uint32_t input_bits) const {
+  QSYN_CHECK(input_bits < (1u << input_wires()), "input out of range");
   const std::size_t n = state_count();
   la::Matrix t(n, n);
+  if (backend_ == MeasurementBackend::kHilbert) {
+    // One batched call: every current state's cycle is an independent job,
+    // fanned out across the engine's worker pool.
+    std::vector<sim::SimJob> jobs(n);
+    for (std::uint32_t current = 0; current < n; ++current) {
+      jobs[current] = sim::SimJob{
+          &circuit_, (current << input_wires()) | input_bits};
+    }
+    const std::vector<la::Vector> outputs = sim_->run(jobs);
+    for (std::uint32_t current = 0; current < n; ++current) {
+      for (std::size_t word = 0; word < outputs[current].size(); ++word) {
+        const std::uint32_t next =
+            static_cast<std::uint32_t>(word) >> input_wires();
+        t(next, current) += std::norm(outputs[current][word]);
+      }
+    }
+    return t;
+  }
   for (std::uint32_t current = 0; current < n; ++current) {
     const std::vector<double> joint = output_distribution(current, input_bits);
     for (std::uint32_t word = 0; word < joint.size(); ++word) {

@@ -14,13 +14,33 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "gates/cascade.h"
 #include "la/matrix.h"
 
+namespace qsyn::sim {
+class BatchSimulator;
+struct SimOptions;
+}  // namespace qsyn::sim
+
 namespace qsyn::automata {
+
+/// How the measurement unit turns the circuit's action on a binary input
+/// word into an outcome distribution.
+enum class MeasurementBackend : std::uint8_t {
+  /// The paper's exact product rule: run the multi-valued semantics and
+  /// factorize the measurement per wire. Exact for reasonable cascades —
+  /// the reference backend.
+  kMultiValued,
+  /// Full Hilbert-space simulation through the fused/batched engine
+  /// (sim/batch.h): |amplitude|^2 of the simulated output state. Agrees
+  /// with kMultiValued on reasonable cascades and stays correct on
+  /// arbitrary circuits beyond the paper's reasonability constraint.
+  kHilbert,
+};
 
 /// A probabilistic FSM realized by a quantum combinational circuit.
 ///
@@ -43,6 +63,16 @@ class QuantumAutomaton {
 
   [[nodiscard]] std::uint32_t state() const { return state_; }
   void reset(std::uint32_t state = 0);
+
+  /// Selects the measurement backend. kHilbert builds a batch engine with
+  /// env-configured options (QSYN_SIM_FUSE / QSYN_THREADS); the overload
+  /// below pins explicit options. kMultiValued releases the engine.
+  void set_measurement_backend(MeasurementBackend backend);
+  void set_measurement_backend(MeasurementBackend backend,
+                               const sim::SimOptions& options);
+  [[nodiscard]] MeasurementBackend measurement_backend() const {
+    return backend_;
+  }
 
   /// Runs one cycle with the given external input bits; returns the full
   /// measured output word (state bits high, output bits low).
@@ -71,9 +101,23 @@ class QuantumAutomaton {
       std::size_t burn_in = 128);
 
  private:
+  /// Exact outcome distribution over full output words for one input word,
+  /// through the selected backend.
+  [[nodiscard]] std::vector<double> joint_distribution(
+      std::uint32_t word) const;
+
   gates::Cascade circuit_;
   std::size_t state_wires_;
   std::uint32_t state_ = 0;
+  MeasurementBackend backend_ = MeasurementBackend::kMultiValued;
+  // Non-null iff backend_ == kHilbert; its block-unitary cache makes
+  // repeated cycles of the same circuit fold-free. Shared so automatons
+  // stay copyable — copies alias one engine (cache reuse is the point);
+  // per-step calls run inline on the calling thread, and concurrent
+  // *batched* calls (transition_matrix) on aliased copies fail loudly
+  // rather than race (see sim/batch.h). Call set_measurement_backend on a
+  // copy to give it an engine of its own.
+  std::shared_ptr<sim::BatchSimulator> sim_;
 };
 
 }  // namespace qsyn::automata

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "automata/measurement.h"
 #include "common/error.h"
 
 namespace qsyn::automata {
@@ -45,17 +46,7 @@ QuantumHmm::Trajectory QuantumHmm::sample(std::uint32_t initial_state,
   std::uint32_t state = initial_state;
   for (std::size_t i = 0; i < length; ++i) {
     // Draw from the joint law of (next state, emission).
-    const std::vector<double>& dist = joint_[state];
-    const double r = rng.uniform();
-    double cumulative = 0.0;
-    std::uint32_t word = static_cast<std::uint32_t>(dist.size() - 1);
-    for (std::uint32_t w = 0; w < dist.size(); ++w) {
-      cumulative += dist[w];
-      if (r < cumulative) {
-        word = w;
-        break;
-      }
-    }
+    const std::uint32_t word = sample_index(joint_[state], rng);
     const std::uint32_t next = word >> automaton_.input_wires();
     const std::uint32_t emission =
         word & ((1u << automaton_.input_wires()) - 1u);

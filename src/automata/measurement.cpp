@@ -25,6 +25,17 @@ std::vector<double> outcome_distribution(const mvl::Pattern& pattern) {
   return dist;
 }
 
+std::uint32_t sample_index(const std::vector<double>& dist, Rng& rng) {
+  QSYN_CHECK(!dist.empty(), "cannot sample an empty distribution");
+  const double r = rng.uniform();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    cumulative += dist[i];
+    if (r < cumulative) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(dist.size() - 1);  // rounding tail
+}
+
 std::uint32_t sample_measurement(const mvl::Pattern& pattern, Rng& rng) {
   std::uint32_t bits = 0;
   for (std::size_t w = 0; w < pattern.wires(); ++w) {

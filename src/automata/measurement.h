@@ -31,4 +31,10 @@ namespace qsyn::automata {
 [[nodiscard]] std::uint32_t sample_measurement(const mvl::Pattern& pattern,
                                                Rng& rng);
 
+/// Draws an index from an explicit distribution by inverse CDF (one
+/// rng.uniform() per draw; rounding mass lands on the last index). Shared
+/// by every automata component that samples a precomputed outcome law.
+[[nodiscard]] std::uint32_t sample_index(const std::vector<double>& dist,
+                                         Rng& rng);
+
 }  // namespace qsyn::automata

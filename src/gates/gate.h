@@ -78,6 +78,16 @@ class Gate {
   /// Paper-style name: "VBA", "V+AB", "FCA", "NA".
   [[nodiscard]] std::string name() const;
 
+  /// Stable 32-bit content encoding of (kind, target, control) — the key
+  /// the fused-simulation unitary cache (sim/fused.h) hashes gate blocks
+  /// by. NOT gates store their (unused) control as the target, so equal
+  /// gates always encode equally.
+  [[nodiscard]] std::uint32_t packed() const {
+    return static_cast<std::uint32_t>(kind_) |
+           static_cast<std::uint32_t>(target_) << 2 |
+           static_cast<std::uint32_t>(control_) << 17;
+  }
+
   /// The Hermitian adjoint gate (V <-> V+; Feynman and NOT are self-adjoint).
   [[nodiscard]] Gate adjoint() const;
 

@@ -1,0 +1,143 @@
+#include "sim/batch.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "sim/state_vector.h"
+
+namespace qsyn::sim {
+
+namespace {
+
+/// Gate-at-a-time reference check, shared by the fuse_block == 0 path and
+/// the classic sim/cross_check.cpp entry point. The caller has already
+/// checked the domain/cascade wire agreement.
+bool check_one_reference(const gates::Cascade& cascade, double tol) {
+  const std::size_t wires = cascade.wires();
+  for (std::uint32_t bits = 0; bits < (1u << wires); ++bits) {
+    const mvl::Pattern input = mvl::Pattern::from_binary(wires, bits);
+    StateVector state = StateVector::basis(wires, bits);
+    state.apply_cascade(cascade);
+    const mvl::Pattern predicted = cascade.apply(input);
+    const StateVector expected = StateVector::from_pattern(predicted);
+    if (state.distance_to(expected) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(SimOptions options)
+    : options_(options), threads_(options.resolved_threads()) {}
+
+BatchSimulator::~BatchSimulator() = default;
+
+ThreadPool& BatchSimulator::pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  return *pool_;
+}
+
+la::Vector BatchSimulator::simulate(const gates::Cascade& cascade,
+                                    std::uint32_t bits) {
+  if (options_.fuse_block == 0) {
+    StateVector state = StateVector::basis(cascade.wires(), bits);
+    state.apply_cascade(cascade);
+    return state.amplitudes();
+  }
+  const FusedCascade fused(cascade, options_.fuse_block, cache_);
+  return fused.apply_to_basis(bits).amplitudes();
+}
+
+std::vector<la::Vector> BatchSimulator::run(const std::vector<SimJob>& jobs) {
+  std::vector<la::Vector> out(jobs.size());
+  if (jobs.empty()) return out;
+  for (const SimJob& job : jobs) {
+    QSYN_CHECK(job.cascade != nullptr, "SimJob without a cascade");
+  }
+  if (jobs.size() == 1) {  // nothing to fan out; skip the pool round
+    out[0] = simulate(*jobs[0].cascade, jobs[0].input_bits);
+    return out;
+  }
+  if (options_.fuse_block == 0) {
+    pool().run(jobs.size(), [&](std::size_t task, std::size_t) {
+      const SimJob& job = jobs[task];
+      StateVector state =
+          StateVector::basis(job.cascade->wires(), job.input_bits);
+      state.apply_cascade(*job.cascade);
+      out[task] = state.amplitudes();
+    });
+    return out;
+  }
+  // Fold each distinct cascade exactly once — across the pool, since on a
+  // cold cache folding dominates the per-job column reads — then fan the
+  // jobs out. The fused forms are read-only during the sweep, so tasks
+  // share them freely.
+  std::unordered_map<const gates::Cascade*, std::size_t> fused_index;
+  std::vector<const gates::Cascade*> unique;
+  for (const SimJob& job : jobs) {
+    if (fused_index.emplace(job.cascade, unique.size()).second) {
+      unique.push_back(job.cascade);
+    }
+  }
+  std::vector<std::optional<FusedCascade>> fused(unique.size());
+  pool().run(unique.size(), [&](std::size_t task, std::size_t) {
+    fused[task].emplace(*unique[task], options_.fuse_block, cache_);
+  });
+  pool().run(jobs.size(), [&](std::size_t task, std::size_t) {
+    const FusedCascade& f = *fused[fused_index.at(jobs[task].cascade)];
+    out[task] = f.apply_to_basis(jobs[task].input_bits).amplitudes();
+  });
+  return out;
+}
+
+std::vector<la::Vector> BatchSimulator::run_all_inputs(
+    const gates::Cascade& cascade) {
+  const std::size_t dim = std::size_t(1) << cascade.wires();
+  std::vector<SimJob> jobs(dim);
+  for (std::uint32_t bits = 0; bits < dim; ++bits) {
+    jobs[bits] = SimJob{&cascade, bits};
+  }
+  return run(jobs);
+}
+
+std::vector<char> BatchSimulator::check_mv_model(
+    const std::vector<const gates::Cascade*>& cascades,
+    const mvl::PatternDomain& domain, double tol) {
+  std::vector<char> out(cascades.size(), 0);
+  if (cascades.empty()) return out;
+  for (const gates::Cascade* cascade : cascades) {
+    QSYN_CHECK(cascade != nullptr, "check_mv_model without a cascade");
+  }
+  if (cascades.size() == 1) {
+    out[0] = check_mv_model_one(*cascades[0], domain, tol) ? 1 : 0;
+    return out;
+  }
+  pool().run(cascades.size(), [&](std::size_t task, std::size_t) {
+    out[task] = check_mv_model_one(*cascades[task], domain, tol) ? 1 : 0;
+  });
+  return out;
+}
+
+bool BatchSimulator::check_mv_model_one(const gates::Cascade& cascade,
+                                        const mvl::PatternDomain& domain,
+                                        double tol) {
+  if (domain.wires() != cascade.wires()) return false;
+  if (options_.fuse_block == 0) {
+    return check_one_reference(cascade, tol);
+  }
+  const std::size_t wires = cascade.wires();
+  const FusedCascade fused(cascade, options_.fuse_block, cache_);
+  for (std::uint32_t bits = 0; bits < (1u << wires); ++bits) {
+    const StateVector state = fused.apply_to_basis(bits);
+    const mvl::Pattern predicted =
+        cascade.apply(mvl::Pattern::from_binary(wires, bits));
+    const StateVector expected = StateVector::from_pattern(predicted);
+    if (state.distance_to(expected) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace qsyn::sim

@@ -1,25 +1,43 @@
 #include "sim/cross_check.h"
 
+#include "sim/batch.h"
 #include "sim/state_vector.h"
 #include "sim/unitary.h"
 
 namespace qsyn::sim {
 
+namespace {
+
+/// Process-wide engine for the classic single-cascade entry points:
+/// fuse_block from QSYN_SIM_FUSE, but pinned to one thread — a 2^n-input
+/// check has nothing worth fanning out, and a single-threaded engine keeps
+/// concurrent callers safe (the block cache itself is mutex-guarded).
+BatchSimulator& default_engine() {
+  static BatchSimulator engine = [] {
+    SimOptions options = SimOptions::from_env();
+    options.threads = 1;
+    return BatchSimulator(options);
+  }();
+  return engine;
+}
+
+}  // namespace
+
 bool mv_model_matches_hilbert(const gates::Cascade& cascade,
                               const mvl::PatternDomain& domain, double tol) {
-  const std::size_t wires = cascade.wires();
-  if (domain.wires() != wires) return false;
-  for (std::uint32_t bits = 0; bits < (1u << wires); ++bits) {
-    const mvl::Pattern input = mvl::Pattern::from_binary(wires, bits);
-    // Hilbert-space evolution.
-    StateVector state = StateVector::basis(wires, bits);
-    state.apply_cascade(cascade);
-    // Multi-valued prediction, lifted back to a product state.
-    const mvl::Pattern predicted = cascade.apply(input);
-    const StateVector expected = StateVector::from_pattern(predicted);
-    if (state.distance_to(expected) > tol) return false;
-  }
-  return true;
+  return default_engine().check_mv_model_one(cascade, domain, tol);
+}
+
+bool mv_model_matches_hilbert(const gates::Cascade& cascade,
+                              const mvl::PatternDomain& domain, double tol,
+                              BatchSimulator& sim) {
+  return sim.check_mv_model_one(cascade, domain, tol);
+}
+
+std::vector<char> mv_model_matches_hilbert_batch(
+    const std::vector<const gates::Cascade*>& cascades,
+    const mvl::PatternDomain& domain, double tol, BatchSimulator& sim) {
+  return sim.check_mv_model(cascades, domain, tol);
 }
 
 bool realizes_permutation(const gates::Cascade& cascade,

@@ -10,7 +10,15 @@
 //
 // These helpers check that claim instance by instance; the test suite sweeps
 // them over the library gates, the paper's circuits, and random cascades.
+//
+// The checks are served by the fused/batched engine (sim/batch.h): the
+// process-wide default engine is configured from the environment
+// (QSYN_SIM_FUSE = gates per fused block, 0 = the gate-at-a-time reference
+// path), and the overloads taking an explicit BatchSimulator let sweeps
+// share one engine — and its block-unitary cache — across many cascades.
 #pragma once
+
+#include <vector>
 
 #include "gates/cascade.h"
 #include "mvl/domain.h"
@@ -18,12 +26,27 @@
 
 namespace qsyn::sim {
 
+class BatchSimulator;
+
 /// True iff, for every binary input, simulating `cascade` yields exactly the
 /// product state predicted by the multi-valued model. The cascade should be
-/// reasonable over `domain` (the guarantee does not hold otherwise).
+/// reasonable over `domain` (the guarantee does not hold otherwise). Served
+/// by the process-wide env-configured engine (single-threaded, shared
+/// block cache; QSYN_SIM_FUSE=0 forces the reference path).
 [[nodiscard]] bool mv_model_matches_hilbert(const gates::Cascade& cascade,
                                             const mvl::PatternDomain& domain,
                                             double tol = 1e-9);
+
+/// Same check through an explicit batch engine.
+[[nodiscard]] bool mv_model_matches_hilbert(const gates::Cascade& cascade,
+                                            const mvl::PatternDomain& domain,
+                                            double tol, BatchSimulator& sim);
+
+/// Batched sweep: entry i is 1 iff cascade i passes the check. Cascades fan
+/// out across `sim`'s worker pool and share its block-unitary cache.
+[[nodiscard]] std::vector<char> mv_model_matches_hilbert_batch(
+    const std::vector<const gates::Cascade*>& cascades,
+    const mvl::PatternDomain& domain, double tol, BatchSimulator& sim);
 
 /// True iff the cascade's full unitary is exactly the permutation matrix of
 /// `target` (a permutation of {1..2^n} in binary-value order).

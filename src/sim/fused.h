@@ -1,0 +1,156 @@
+// qsyn/sim/fused.h
+//
+// Fused cascade simulation: a Cascade is partitioned into blocks of up to
+// `fuse_block` consecutive gates, every block is folded into a single
+// 2^n x 2^n unitary, and simulation applies blocks instead of gates. Folded
+// blocks are memoized in a content-addressed UnitaryCache (keyed on the wire
+// count plus the packed gate sequence), so a block appearing in many
+// cascades — common in cross-check sweeps over enumerator output, whose
+// cascades share prefixes, and in serving workloads that re-evaluate a fixed
+// circuit catalog — folds exactly once per cache.
+//
+// The gate-at-a-time StateVector::apply_cascade stays the *reference*
+// implementation. Every amplitude reachable from the paper's gate set is a
+// dyadic complex rational, so folding performs exact binary arithmetic and
+// the fused path reproduces the reference bit for bit; the randomized
+// differential harness in tests/test_sim_fused.cpp keeps that claim honest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/cascade.h"
+#include "la/matrix.h"
+
+namespace qsyn::sim {
+
+class StateVector;
+
+/// Gates folded per block when QSYN_SIM_FUSE is unset.
+inline constexpr std::size_t kDefaultFuseBlock = 4;
+
+/// Tuning knobs of the fused / batched simulation paths.
+struct SimOptions {
+  /// Gates folded per block; 0 selects the gate-at-a-time reference path.
+  std::size_t fuse_block = kDefaultFuseBlock;
+
+  /// Total parallelism of the BatchSimulator fan-out, including the calling
+  /// thread. 0 = the QSYN_THREADS environment variable when set to a
+  /// positive integer, else std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+
+  /// Options from the environment: fuse_block from QSYN_SIM_FUSE (a
+  /// non-negative integer; 0 = reference path; unset = kDefaultFuseBlock),
+  /// threads left at 0 (resolved per the rule above).
+  [[nodiscard]] static SimOptions from_env();
+
+  /// The effective worker count (resolves threads == 0).
+  [[nodiscard]] std::size_t resolved_threads() const;
+};
+
+/// Default UnitaryCache capacity (bytes of stored matrix entries). Bounds
+/// the memory of long-lived caches — notably the process-wide engine behind
+/// sim/cross_check.h, which would otherwise grow for the process lifetime
+/// when sweeping many distinct cascades.
+inline constexpr std::size_t kDefaultCacheBytes = std::size_t(64) << 20;
+
+/// Content-addressed store of folded block unitaries, shared across cascades
+/// and across threads. Lookups and inserts are mutex-guarded; the fold
+/// itself runs outside the lock, so a racing duplicate fold is possible but
+/// only one result is ever published.
+class UnitaryCache {
+ public:
+  /// `max_bytes` softly caps the stored matrix entries: once reached, new
+  /// folds are still computed and returned, just not memoized.
+  explicit UnitaryCache(std::size_t max_bytes = kDefaultCacheBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// The unitary of the `count`-gate block starting at `gates`, on `wires`
+  /// wires, folding and memoizing it on first use. Equal blocks (same wire
+  /// count, same gate sequence) return the *same* matrix object while it
+  /// stays cached.
+  [[nodiscard]] std::shared_ptr<const la::Matrix> fold(
+      std::size_t wires, const gates::Gate* gates, std::size_t count);
+
+  /// Number of distinct blocks stored.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Bytes of matrix entries currently stored.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Lookup counters, for tests and bench reporting.
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  struct Key {
+    std::size_t wires = 0;
+    std::vector<std::uint32_t> gates;  // Gate::packed(), in cascade order
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.wires == b.wires && a.gates == b.gates;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const la::Matrix>, KeyHash> blocks_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// One cascade partitioned into folded blocks: block i covers gates
+/// [i*fuse_block, min((i+1)*fuse_block, size)), and the cascade's action is
+/// the blocks applied in cascade order. Holds shared references into the
+/// cache it was folded through; the cache may be destroyed afterwards.
+class FusedCascade {
+ public:
+  /// Partitions and folds `cascade` with block size `fuse_block` (>= 1)
+  /// through `cache`.
+  FusedCascade(const gates::Cascade& cascade, std::size_t fuse_block,
+               UnitaryCache& cache);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+  /// The folded unitary of block i.
+  [[nodiscard]] const la::Matrix& block(std::size_t i) const;
+
+  /// The shared cache entry of block i — pointer-equal across cascades for
+  /// equal blocks folded through the same cache.
+  [[nodiscard]] std::shared_ptr<const la::Matrix> block_matrix(
+      std::size_t i) const;
+
+  /// Applies all blocks in cascade order.
+  void apply(StateVector& state) const;
+
+  /// Output state of the basis input |bits>. The first block acts on a
+  /// basis state, so its application is a column read instead of a full
+  /// matrix-vector product — with whole-cascade fusion and a warm cache a
+  /// sweep over all inputs costs O(4^n) total instead of O(gates * 4^n).
+  [[nodiscard]] StateVector apply_to_basis(std::uint32_t bits) const;
+
+  /// The full 2^n x 2^n cascade unitary (product of the blocks; identity
+  /// for the empty cascade).
+  [[nodiscard]] la::Matrix unitary() const;
+
+ private:
+  std::size_t wires_;
+  std::vector<std::shared_ptr<const la::Matrix>> blocks_;
+};
+
+/// Folds `cascade` with options.fuse_block (>= 1) through `cache` when
+/// given, else through a transient cache — the shared null-cache fallback of
+/// the fused entry points (cascade_unitary, StateVector::apply_cascade).
+[[nodiscard]] FusedCascade fuse_cascade(const gates::Cascade& cascade,
+                                        const SimOptions& options,
+                                        UnitaryCache* cache);
+
+}  // namespace qsyn::sim

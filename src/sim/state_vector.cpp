@@ -21,6 +21,16 @@ StateVector StateVector::basis(std::size_t wires, std::uint32_t bits) {
   return s;
 }
 
+StateVector StateVector::from_amplitudes(la::Vector amplitudes) {
+  std::size_t wires = 0;
+  while ((std::size_t(1) << wires) < amplitudes.size()) ++wires;
+  QSYN_CHECK(wires >= 1 && (std::size_t(1) << wires) == amplitudes.size(),
+             "amplitude count must be a power of two >= 2");
+  StateVector s(wires);
+  s.amps_ = std::move(amplitudes);
+  return s;
+}
+
 StateVector StateVector::from_pattern(const mvl::Pattern& pattern) {
   StateVector s(pattern.wires());
   la::Vector product = mvl::quat_state(pattern.get(0));
@@ -50,8 +60,13 @@ void StateVector::apply_controlled_1q(const la::Matrix& u, std::size_t target,
                                       std::size_t control) {
   QSYN_CHECK(u.rows() == 2 && u.cols() == 2,
              "apply_controlled_1q needs a 2x2 matrix");
-  QSYN_CHECK(target < wires_ && control < wires_ && target != control,
-             "bad controlled gate wires");
+  QSYN_CHECK(target < wires_ && control < wires_,
+             "controlled gate wire out of range");
+  // A self-controlled gate has no meaning on this dispatch: the pair loop
+  // below would pair each amplitude with itself and scribble garbage, so
+  // reject the alias explicitly instead of producing a silently wrong state.
+  QSYN_CHECK(target != control,
+             "controlled gate control and target must be distinct wires");
   const std::size_t tbit = wires_ - 1 - target;
   const std::size_t cbit = wires_ - 1 - control;
   const std::size_t tstride = std::size_t(1) << tbit;
@@ -64,6 +79,12 @@ void StateVector::apply_controlled_1q(const la::Matrix& u, std::size_t target,
     amps_[base] = u(0, 0) * a0 + u(0, 1) * a1;
     amps_[base | tstride] = u(1, 0) * a0 + u(1, 1) * a1;
   }
+}
+
+void StateVector::apply_unitary(const la::Matrix& u) {
+  QSYN_CHECK(u.rows() == dimension() && u.cols() == dimension(),
+             "unitary dimension mismatch");
+  amps_ = u * amps_;
 }
 
 void StateVector::apply_gate(const gates::Gate& gate) {

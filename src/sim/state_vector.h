@@ -19,6 +19,9 @@
 
 namespace qsyn::sim {
 
+struct SimOptions;
+class UnitaryCache;
+
 /// The quantum state of n qubits (2^n complex amplitudes).
 class StateVector {
  public:
@@ -32,6 +35,11 @@ class StateVector {
   /// (0 -> |0>, 1 -> |1>, V0 -> V|0>, V1 -> V|1>).
   static StateVector from_pattern(const mvl::Pattern& pattern);
 
+  /// Adopts an explicit amplitude vector; the dimension must be a power of
+  /// two (>= 2). Normalization is the caller's concern — the fused engine
+  /// feeds unitary columns through here, which are normalized already.
+  static StateVector from_amplitudes(la::Vector amplitudes);
+
   [[nodiscard]] std::size_t wires() const { return wires_; }
   [[nodiscard]] std::size_t dimension() const { return amps_.size(); }
   [[nodiscard]] const la::Vector& amplitudes() const { return amps_; }
@@ -40,15 +48,29 @@ class StateVector {
   void apply_1q(const la::Matrix& u, std::size_t wire);
 
   /// Applies a controlled single-qubit unitary: u on `target` when `control`
-  /// is |1>.
+  /// is |1>. Throws qsyn::LogicError when `control == target` (a controlled
+  /// gate needs two distinct wires; silently accepting the alias would
+  /// produce garbage amplitudes).
   void apply_controlled_1q(const la::Matrix& u, std::size_t target,
                            std::size_t control);
+
+  /// Applies a full-dimension (2^wires x 2^wires) unitary to the state.
+  void apply_unitary(const la::Matrix& u);
 
   /// Applies one library gate (controlled-V/V+/Feynman/NOT).
   void apply_gate(const gates::Gate& gate);
 
-  /// Applies a whole cascade.
+  /// Applies a whole cascade, one gate at a time — the reference
+  /// implementation the fused/batched engine (sim/fused.h, sim/batch.h) is
+  /// differentially tested against.
   void apply_cascade(const gates::Cascade& cascade);
+
+  /// Applies a cascade through the fused engine: gates are folded into
+  /// per-block unitaries (options.fuse_block per block; 0 falls back to the
+  /// gate-at-a-time reference). Blocks fold through `cache` when given,
+  /// sharing folds across calls and cascades. Defined in sim/fused.cpp.
+  void apply_cascade(const gates::Cascade& cascade, const SimOptions& options,
+                     UnitaryCache* cache = nullptr);
 
   /// Probability that measuring all qubits yields |bits>.
   [[nodiscard]] double probability_of(std::uint32_t bits) const;

@@ -113,11 +113,16 @@ std::uint64_t FmcfEnumerator::g_key_of_row(const std::uint8_t* row) const {
   return key;
 }
 
-const FmcfLevelStats& FmcfEnumerator::advance() {
-  if (saturated()) return stats_.back();
+ThreadPool& FmcfEnumerator::worker_pool() {
   // Workers spawn on the first sweep, not at construction, so enumerators
   // that only probe already-computed levels stay thread-free.
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  return *pool_;
+}
+
+const FmcfLevelStats& FmcfEnumerator::advance() {
+  if (saturated()) return stats_.back();
+  (void)worker_pool();
   Stopwatch timer;
   const unsigned k = levels_done() + 1;
   const FlatPermStore& previous = frontiers_.back();

@@ -117,6 +117,12 @@ class FmcfEnumerator {
   /// Resolved worker-thread count used by the level sweep.
   [[nodiscard]] std::size_t threads() const { return threads_; }
 
+  /// The enumerator's worker pool, created lazily on first use. Shared
+  /// with the MCE layer (McExpressor::count_sequences fans its DFS out
+  /// here) so callers reuse one set of workers instead of spawning a pool
+  /// per call.
+  [[nodiscard]] ThreadPool& worker_pool();
+
   [[nodiscard]] unsigned levels_done() const {
     return static_cast<unsigned>(stats_.size());
   }

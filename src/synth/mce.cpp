@@ -1,8 +1,10 @@
 #include "synth/mce.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace qsyn::synth {
 
@@ -136,11 +138,6 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
     state[s] = static_cast<std::uint8_t>(s);
   }
 
-  std::size_t count = 0;
-  // Depth-first over reasonable gate sequences of exactly `cost` gates.
-  std::vector<std::uint8_t> scratch((cost + 1) * width);
-  std::copy(state.begin(), state.end(), scratch.begin());
-
   auto matches_target = [&](const std::uint8_t* row) {
     for (std::size_t s = 0; s < binary_count; ++s) {
       if (static_cast<std::uint32_t>(row[s]) + 1 !=
@@ -151,39 +148,90 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
     return true;
   };
 
-  // Recursive lambda via explicit stack of gate choices.
-  struct Frame {
-    std::size_t next_gate = 0;
-  };
-  std::vector<Frame> stack(1);
-  while (!stack.empty()) {
-    const std::size_t depth = stack.size() - 1;
-    const std::uint8_t* current = scratch.data() + depth * width;
-    if (depth == cost) {
-      if (matches_target(current)) ++count;
-      stack.pop_back();
-      continue;
-    }
+  const auto banned_of = [&](const std::uint8_t* row) {
     std::uint32_t banned = 0;
     for (std::size_t s = 0; s < binary_count; ++s) {
-      banned |= domain.banned_mask(current[s] + 1);
+      banned |= domain.banned_mask(row[s] + 1);
     }
-    bool descended = false;
-    for (std::size_t g = stack.back().next_gate; g < perms.size(); ++g) {
-      if ((banned & class_bits[g]) != 0) continue;
-      stack.back().next_gate = g + 1;
-      std::uint8_t* next = scratch.data() + (depth + 1) * width;
-      const perm::Permutation& p = *perms[g];
-      for (std::size_t s = 0; s < width; ++s) {
-        next[s] = static_cast<std::uint8_t>(p.apply(current[s] + 1) - 1);
+    return banned;
+  };
+
+  // Depth-first walk over reasonable gate sequences of exactly `remaining`
+  // more gates starting from `start` (a width-byte label image table).
+  // Allocates its own scratch, so concurrent invocations are independent;
+  // everything captured is read-only.
+  const auto dfs_count = [&](const std::uint8_t* start,
+                             unsigned remaining) -> std::size_t {
+    std::size_t count = 0;
+    std::vector<std::uint8_t> scratch((remaining + 1) * width);
+    std::copy(start, start + width, scratch.begin());
+    // Recursive walk via explicit stack of gate choices.
+    struct Frame {
+      std::size_t next_gate = 0;
+    };
+    std::vector<Frame> stack(1);
+    while (!stack.empty()) {
+      const std::size_t depth = stack.size() - 1;
+      const std::uint8_t* current = scratch.data() + depth * width;
+      if (depth == remaining) {
+        if (matches_target(current)) ++count;
+        stack.pop_back();
+        continue;
       }
-      stack.emplace_back();
-      descended = true;
-      break;
+      const std::uint32_t banned = banned_of(current);
+      bool descended = false;
+      for (std::size_t g = stack.back().next_gate; g < perms.size(); ++g) {
+        if ((banned & class_bits[g]) != 0) continue;
+        stack.back().next_gate = g + 1;
+        std::uint8_t* next = scratch.data() + (depth + 1) * width;
+        const perm::Permutation& p = *perms[g];
+        for (std::size_t s = 0; s < width; ++s) {
+          next[s] = static_cast<std::uint8_t>(p.apply(current[s] + 1) - 1);
+        }
+        stack.emplace_back();
+        descended = true;
+        break;
+      }
+      if (!descended) stack.pop_back();
     }
-    if (!descended) stack.pop_back();
+    return count;
+  };
+
+  // Shallow searches (or a single worker) run the plain serial walk.
+  const std::size_t threads = fmcf_.threads();
+  constexpr unsigned kPrefixDepth = 2;
+  if (threads <= 1 || cost <= kPrefixDepth) {
+    return dfs_count(state.data(), cost);
   }
-  return count;
+
+  // Parallel fan-out: enumerate every reasonable prefix of exactly
+  // kPrefixDepth gates, then count each prefix's subtree as one pool task.
+  // The tasks partition the serial DFS tree, so the summed count is
+  // thread-count invariant by construction.
+  std::vector<std::vector<std::uint8_t>> prefixes;
+  std::vector<std::uint8_t> state1(width);
+  std::vector<std::uint8_t> state2(width);
+  const std::uint32_t banned0 = banned_of(state.data());
+  for (std::size_t g1 = 0; g1 < perms.size(); ++g1) {
+    if ((banned0 & class_bits[g1]) != 0) continue;
+    for (std::size_t s = 0; s < width; ++s) {
+      state1[s] = static_cast<std::uint8_t>(perms[g1]->apply(state[s] + 1) - 1);
+    }
+    const std::uint32_t banned1 = banned_of(state1.data());
+    for (std::size_t g2 = 0; g2 < perms.size(); ++g2) {
+      if ((banned1 & class_bits[g2]) != 0) continue;
+      for (std::size_t s = 0; s < width; ++s) {
+        state2[s] =
+            static_cast<std::uint8_t>(perms[g2]->apply(state1[s] + 1) - 1);
+      }
+      prefixes.push_back(state2);
+    }
+  }
+  std::vector<std::size_t> counts(prefixes.size(), 0);
+  fmcf_.worker_pool().run(prefixes.size(), [&](std::size_t task, std::size_t) {
+    counts[task] = dfs_count(prefixes[task].data(), cost - kPrefixDepth);
+  });
+  return std::accumulate(counts.begin(), counts.end(), std::size_t{0});
 }
 
 }  // namespace qsyn::synth

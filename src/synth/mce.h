@@ -60,7 +60,10 @@ class McExpressor {
 
   /// Exhaustively counts the *gate sequences* of length exactly `cost` that
   /// realize the target (reasonable cascades only; NOT prefix excluded).
-  /// Exponential in `cost`; guarded to cost <= max_cost().
+  /// Exponential in `cost`; guarded to cost <= max_cost(). With more than
+  /// one worker (FmcfOptions::threads / QSYN_THREADS) the DFS fans its
+  /// depth-2 subtrees out across a thread pool; the subtrees partition the
+  /// serial walk, so the count is thread-count invariant.
   [[nodiscard]] std::size_t count_sequences(const perm::Permutation& target,
                                             unsigned cost);
 

@@ -106,6 +106,53 @@ TEST(Automaton, TwoStateBiasedChain) {
 
 // --- HMM ------------------------------------------------------------------------
 
+TEST(Automaton, HilbertBackendMatchesMultiValuedBackend) {
+  // Differential check of the measurement rewire: on reasonable circuits
+  // the full Hilbert-space backend (sim/batch.h) must reproduce the exact
+  // multi-valued product rule — distributions, transition matrices and
+  // stationary laws alike.
+  for (const auto& circuit : {flip_circuit(), coin_circuit()}) {
+    QuantumAutomaton reference(circuit, 1);
+    QuantumAutomaton hilbert(circuit, 1);
+    hilbert.set_measurement_backend(MeasurementBackend::kHilbert);
+    EXPECT_EQ(hilbert.measurement_backend(), MeasurementBackend::kHilbert);
+    for (std::uint32_t state = 0; state < 2; ++state) {
+      for (std::uint32_t input = 0; input < 4; ++input) {
+        const auto expected = reference.output_distribution(state, input);
+        const auto got = hilbert.output_distribution(state, input);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i], expected[i], 1e-12)
+              << "state " << state << " input " << input << " word " << i;
+        }
+      }
+    }
+    for (std::uint32_t input = 0; input < 4; ++input) {
+      const la::Matrix expected = reference.transition_matrix(input);
+      EXPECT_LE(hilbert.transition_matrix(input).max_abs_diff(expected),
+                1e-12);
+    }
+  }
+  // Switching back releases the engine and restores the product rule.
+  QuantumAutomaton m(coin_circuit(), 1);
+  m.set_measurement_backend(MeasurementBackend::kHilbert);
+  m.set_measurement_backend(MeasurementBackend::kMultiValued);
+  EXPECT_EQ(m.measurement_backend(), MeasurementBackend::kMultiValued);
+}
+
+TEST(Automaton, HilbertBackendStepsAndConverges) {
+  // Monte-Carlo runs through the Hilbert backend still converge to the
+  // exact stationary distribution of the induced Markov chain.
+  QuantumAutomaton m(coin_circuit(), 1);
+  m.set_measurement_backend(MeasurementBackend::kHilbert);
+  Rng rng(99);
+  const auto exact = m.stationary_distribution(0b01);
+  const auto empirical = m.empirical_distribution(0b01, 20000, rng);
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    EXPECT_NEAR(empirical[s], exact[s], 0.02) << "state " << s;
+  }
+}
+
 TEST(Hmm, JointLawSumsToOne) {
   const QuantumHmm hmm(QuantumAutomaton(coin_circuit(), 1), 0b01);
   for (std::uint32_t s = 0; s < hmm.state_count(); ++s) {

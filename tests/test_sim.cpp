@@ -100,6 +100,24 @@ TEST(StateVector, MeasureAllCollapses) {
   EXPECT_NEAR(s.probability_of(outcome), 1.0, 1e-12);
 }
 
+TEST(StateVector, SelfControlledGateThrowsInsteadOfGarbage) {
+  // Regression: control == target must be rejected loudly. The pair loop in
+  // apply_controlled_1q would otherwise pair amplitudes with themselves and
+  // silently corrupt the state.
+  StateVector s = StateVector::basis(3, 0b101);
+  EXPECT_THROW(s.apply_controlled_1q(la::mat_v(), 1, 1), qsyn::LogicError);
+  EXPECT_THROW(s.apply_controlled_1q(la::mat_x(), 0, 0), qsyn::LogicError);
+  // The failed call must not have touched the state.
+  EXPECT_NEAR(s.probability_of(0b101), 1.0, 1e-12);
+}
+
+TEST(StateVector, ApplyUnitaryChecksDimensions) {
+  StateVector s(2);
+  EXPECT_THROW(s.apply_unitary(la::mat_x()), qsyn::LogicError);  // 2x2 vs dim 4
+  s.apply_unitary(la::Matrix::identity(4));
+  EXPECT_NEAR(s.probability_of(0), 1.0, 1e-12);
+}
+
 TEST(StateVector, EqualUpToPhase) {
   StateVector a = StateVector::basis(2, 1);
   StateVector b = StateVector::basis(2, 1);
