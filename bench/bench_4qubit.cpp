@@ -1,5 +1,6 @@
 // bench_4qubit: extension experiment — the paper's construction generalized
-// to 4 qubits.
+// to 4 qubits, built through GateLibrary::standard(4) (the NQubitDomain
+// API; bench_domain_growth sweeps the full n = 2..5 curve).
 //
 // The reduced pattern domain has 4^4 - 3^4 + 1 = 176 labels, the library L
 // grows to 3*4*3 = 36 gates (24 controlled-V/V+, 12 CNOTs), and S = the 16
@@ -15,7 +16,7 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "gates/library.h"
-#include "mvl/domain.h"
+#include "mvl/nqubit.h"
 #include "synth/fmcf.h"
 
 namespace {
@@ -29,9 +30,8 @@ void regenerate() {
     if (max_cost < 1 || max_cost > 6) max_cost = 4;
   }
   bench::section("Extension: 4-qubit FMCF closure (beyond the paper)");
-  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(4);
-  const gates::GateLibrary library(domain);
-  bench::value_row("domain size", std::to_string(domain.size()) +
+  const gates::GateLibrary library = gates::GateLibrary::standard(4);
+  bench::value_row("domain size", std::to_string(library.domain().size()) +
                                       " labels (4^4 - 3^4 + 1)");
   bench::value_row("library size", std::to_string(library.size()) + " gates");
 
@@ -53,8 +53,7 @@ void regenerate() {
 }
 
 void bm_expand_4q_level2(benchmark::State& state) {
-  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(4);
-  const gates::GateLibrary library(domain);
+  const gates::GateLibrary library = gates::GateLibrary::standard(4);
   for (auto _ : state) {
     synth::FmcfOptions options;
     options.track_witnesses = false;

@@ -1,0 +1,120 @@
+// bench_domain_growth: the growth curve of the paper's construction
+// generalized to n qubits behind the NQubitDomain / GateLibrary::standard
+// API.
+//
+// For n = 2..5 the reduced domain has 4^n - 3^n + 1 labels and the library
+// L(n) has 3n(n-1) gates (n control classes of 2(n-1) controlled-V/V+ each,
+// C(n,2) Feynman classes of 2 CNOTs each) — 6/18/36/60 gates over
+// 8/38/176/782 labels. The FMCF closure then runs a few levels per width to
+// record frontier sizes, |G[k]|, expansion throughput (frontier rows per
+// second) and memory. The 5-wire rows exercise the two-byte label stores
+// and the 256-bit G-set keys end to end.
+//
+// Depth per width is sized for a laptop-class container; QSYN_GROWTH_DEPTH
+// caps every width at once (1..8) for quick smoke runs or deeper pushes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "gates/library.h"
+#include "mvl/nqubit.h"
+#include "synth/fmcf.h"
+
+namespace {
+
+using namespace qsyn;
+
+unsigned depth_for(std::size_t wires) {
+  // 2 wires run to saturation (GL(2,2) is tiny); 5-wire levels grow ~60x
+  // per step, so the default depth shrinks with the width.
+  unsigned depth = 2;
+  if (wires == 2) depth = 8;
+  if (wires == 3) depth = 4;
+  if (wires == 4) depth = 3;
+  if (const char* env = std::getenv("QSYN_GROWTH_DEPTH")) {
+    const unsigned cap =
+        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (cap >= 1 && cap <= 8) depth = cap;
+  }
+  return depth;
+}
+
+void regenerate() {
+  bench::section("Extension: n-qubit domain & library growth (n = 2..5)");
+  for (std::size_t n = 2; n <= 5; ++n) {
+    const mvl::NQubitDomain nq(n);
+    const gates::GateLibrary library = gates::GateLibrary::standard(nq);
+    const std::string tag = "n=" + std::to_string(n);
+    bench::compare_row(
+        tag + " domain labels",
+        static_cast<long long>(mvl::NQubitDomain::reduced_size(n)),
+        static_cast<long long>(nq.size()), "4^n - 3^n + 1");
+    bench::compare_row(tag + " library gates",
+                       static_cast<long long>(nq.library_size()),
+                       static_cast<long long>(library.size()),
+                       "3n(n-1); 18 at n=3");
+    bench::value_row(tag + " banned classes",
+                     std::to_string(nq.num_classes()) + " (" +
+                         std::to_string(nq.control_class_count()) +
+                         " control + " +
+                         std::to_string(nq.feynman_class_count()) +
+                         " Feynman)");
+
+    synth::FmcfOptions options;
+    options.track_witnesses = false;
+    synth::FmcfEnumerator enumerator(library, options);
+    std::printf(
+        "  k | |B[k]|    | |G[k]|  | secs    | perms/s    | approx MiB\n");
+    std::printf("  %s\n", std::string(62, '-').c_str());
+    for (unsigned k = 1; k <= depth_for(n) && !enumerator.saturated(); ++k) {
+      const auto& s = enumerator.advance();
+      const double rate = s.seconds > 0 ? s.frontier / s.seconds : 0.0;
+      std::printf("  %u | %-9zu | %-7zu | %-7.3f | %-10.0f | %zu\n", s.cost,
+                  s.frontier, s.g_new, s.seconds, rate,
+                  enumerator.memory_bytes() >> 20);
+    }
+    // |G[1]| is always the n(n-1) Feynman gates: controlled-V gates leave
+    // binary patterns mixed, so cost-1 reversible circuits are exactly the
+    // CNOTs.
+    bench::compare_row(tag + " |G[1]|",
+                       static_cast<long long>(n * (n - 1)),
+                       static_cast<long long>(enumerator.stats()[0].g_new),
+                       "the n(n-1) CNOTs");
+  }
+}
+
+void bm_standard_library(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const gates::GateLibrary library = gates::GateLibrary::standard(n);
+    benchmark::DoNotOptimize(library.size());
+  }
+}
+BENCHMARK(bm_standard_library)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void bm_closure_level2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const mvl::NQubitDomain nq(n);
+  const gates::GateLibrary library = gates::GateLibrary::standard(nq);
+  for (auto _ : state) {
+    synth::FmcfOptions options;
+    options.track_witnesses = false;
+    synth::FmcfEnumerator enumerator(library, options);
+    enumerator.run_to(2);
+    benchmark::DoNotOptimize(enumerator.seen_count());
+  }
+}
+BENCHMARK(bm_closure_level2)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Stopwatch total;
+  regenerate();
+  std::printf("  total wall time: %.2f s\n", total.seconds());
+  return qsyn::bench::run_benchmarks(argc, argv);
+}

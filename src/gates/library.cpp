@@ -32,6 +32,18 @@ GateLibrary::GateLibrary(const mvl::PatternDomain& domain) : domain_(&domain) {
   }
 }
 
+GateLibrary GateLibrary::standard(const mvl::NQubitDomain& nq) {
+  GateLibrary out(nq.domain());
+  out.owned_domain_ = nq.share();
+  QSYN_CHECK(out.size() == nq.library_size(),
+             "standard library size must match the domain's library_size()");
+  return out;
+}
+
+GateLibrary GateLibrary::standard(std::size_t wires) {
+  return standard(mvl::NQubitDomain(wires));
+}
+
 const Gate& GateLibrary::gate(std::size_t index) const {
   QSYN_CHECK(index < gates_.size(), "gate index out of range");
   return gates_[index];
@@ -102,6 +114,7 @@ GateLibrary GateLibrary::restricted_to(
   QSYN_CHECK(!indices.empty(), "a gate library cannot be empty");
   GateLibrary out;
   out.domain_ = domain_;
+  out.owned_domain_ = owned_domain_;  // keep a standard() parent's domain alive
   out.gates_.reserve(indices.size());
   out.perms_.reserve(indices.size());
   out.classes_.reserve(indices.size());

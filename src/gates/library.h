@@ -12,8 +12,12 @@
 #include <string>
 #include <vector>
 
+#include <cstddef>
+#include <memory>
+
 #include "gates/gate.h"
 #include "mvl/domain.h"
+#include "mvl/nqubit.h"
 #include "perm/permutation.h"
 
 namespace qsyn::gates {
@@ -24,6 +28,18 @@ class GateLibrary {
   /// Builds L for `domain.wires()` wires and caches each gate's permutation
   /// of the domain labels and its banned class.
   explicit GateLibrary(const mvl::PatternDomain& domain);
+
+  /// The standard paper library over the reduced n-wire domain, owning its
+  /// domain (no external PatternDomain lifetime to manage). Emits
+  /// NQubitDomain::library_size() = 3n(n-1) gates in paper order: the
+  /// control classes L_A..L_(n-1), then the Feynman classes L_AB, L_AC, ...
+  /// For n = 3 this is byte-identical to the legacy hard-coded 18-gate
+  /// library (golden-tested in tests/test_domain_nqubit.cpp).
+  static GateLibrary standard(std::size_t wires);
+
+  /// Same library sharing `nq`'s domain (cheap when the caller already
+  /// built an NQubitDomain).
+  static GateLibrary standard(const mvl::NQubitDomain& nq);
 
   [[nodiscard]] const mvl::PatternDomain& domain() const { return *domain_; }
   [[nodiscard]] std::size_t size() const { return gates_.size(); }
@@ -64,8 +80,11 @@ class GateLibrary {
  private:
   GateLibrary() = default;
 
-  // Non-owning; domains outlive libraries.
+  // Non-owning view; set for every construction path. Libraries built via
+  // standard() additionally hold the domain alive through owned_domain_;
+  // libraries built over a caller's PatternDomain require it to outlive them.
   const mvl::PatternDomain* domain_ = nullptr;
+  std::shared_ptr<const mvl::PatternDomain> owned_domain_;
   std::vector<Gate> gates_;
   std::vector<perm::Permutation> perms_;
   std::vector<mvl::BannedClass> classes_;

@@ -162,4 +162,26 @@ std::string PatternDomain::class_name(BannedClass c) const {
   throw qsyn::LogicError("class_name: unreachable");
 }
 
+BannedClass PatternDomain::class_from_name(const std::string& name) const {
+  if (name.size() < 3 || name.compare(0, 2, "N_") != 0) {
+    throw qsyn::ParseError("malformed banned-class name: " + name);
+  }
+  const auto wire_of = [&](char letter) -> std::size_t {
+    if (letter < 'A' || static_cast<std::size_t>(letter - 'A') >= wires_) {
+      throw qsyn::ParseError("banned-class wire out of range: " + name);
+    }
+    return static_cast<std::size_t>(letter - 'A');
+  };
+  if (name.size() == 3) return control_class(wire_of(name[2]));
+  if (name.size() == 4) {
+    const std::size_t a = wire_of(name[2]);
+    const std::size_t b = wire_of(name[3]);
+    if (a >= b) {
+      throw qsyn::ParseError("Feynman class wires must ascend: " + name);
+    }
+    return feynman_class(a, b);
+  }
+  throw qsyn::ParseError("malformed banned-class name: " + name);
+}
+
 }  // namespace qsyn::mvl

@@ -81,12 +81,21 @@ class PatternDomain {
   /// Bitmask over classes: bit c set iff `label` lies in class c's banned set.
   [[nodiscard]] std::uint32_t banned_mask(std::uint32_t label) const;
 
+  /// Alias of banned_mask — the name the n-qubit domain API exposes.
+  [[nodiscard]] std::uint32_t class_mask(std::uint32_t label) const {
+    return banned_mask(label);
+  }
+
   /// The banned set of a class, as ascending 1-based labels (the paper's
   /// N_A, N_B, N_C, N_AB, N_AC, N_BC for the reduced 3-wire domain).
   [[nodiscard]] std::vector<std::uint32_t> banned_set(BannedClass c) const;
 
   /// Human-readable class name: "N_A", "N_BC", ... (wires named A, B, C...).
   [[nodiscard]] std::string class_name(BannedClass c) const;
+
+  /// Inverse of class_name: parses "N_A" / "N_BC" back to the class index.
+  /// Throws qsyn::ParseError on malformed names or wires beyond the domain.
+  [[nodiscard]] BannedClass class_from_name(const std::string& name) const;
 
  private:
   PatternDomain(std::size_t wires, std::vector<Pattern> patterns);

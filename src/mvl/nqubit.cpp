@@ -1,0 +1,26 @@
+#include "mvl/nqubit.h"
+
+#include "common/error.h"
+
+namespace qsyn::mvl {
+
+NQubitDomain::NQubitDomain(std::size_t wires)
+    : wires_(wires),
+      domain_(std::make_shared<const PatternDomain>(
+          PatternDomain::reduced(wires))) {
+  QSYN_CHECK(wires >= 2 && wires <= 8,
+             "NQubitDomain supports 2..8 wires");
+}
+
+std::size_t NQubitDomain::reduced_size(std::size_t wires) {
+  QSYN_CHECK(wires >= 1 && wires <= 8, "reduced_size supports 1..8 wires");
+  std::size_t pow4 = 1;
+  std::size_t pow3 = 1;
+  for (std::size_t i = 0; i < wires; ++i) {
+    pow4 *= 4;
+    pow3 *= 3;
+  }
+  return pow4 - pow3 + 1;
+}
+
+}  // namespace qsyn::mvl

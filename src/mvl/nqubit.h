@@ -1,0 +1,107 @@
+// qsyn/mvl/nqubit.h
+//
+// NQubitDomain: the single entry point for the paper's construction at an
+// arbitrary wire count n. It owns the reduced pattern domain (4^n - 3^n + 1
+// labels, binary patterns first), exposes the banned-set class arithmetic,
+// and knows the shape of the generalized gate library L(n):
+//
+//   * n control classes L_A, L_B, ... with 2(n-1) gates each (controlled-V
+//     and controlled-V+ for every target wire), and
+//   * C(n,2) Feynman classes L_AB, ... with 2 CNOTs each,
+//
+// for n * 2(n-1) + 2 * C(n,2) = 3n(n-1) gates — the paper's 18 at n = 3.
+// gates::GateLibrary::standard(n) builds exactly that library over this
+// domain; the construction is locked to the legacy 3-qubit artifacts by the
+// golden fixtures in tests/test_domain_nqubit.cpp.
+//
+// The domain is held behind a shared_ptr, so NQubitDomain values are cheap
+// to copy and everything built on top (libraries, enumerators) can share
+// ownership instead of requiring callers to keep a PatternDomain alive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mvl/domain.h"
+
+namespace qsyn::mvl {
+
+/// The n-qubit synthesis domain plus the shape of its gate library.
+class NQubitDomain {
+ public:
+  /// Builds the reduced domain for `wires` in [2, 8] (the library needs at
+  /// least two wires; patterns pack 2 bits per wire).
+  explicit NQubitDomain(std::size_t wires);
+
+  [[nodiscard]] std::size_t wires() const { return wires_; }
+
+  /// The reduced pattern domain (binary labels first). The address is
+  /// stable for the lifetime of any copy of this NQubitDomain.
+  [[nodiscard]] const PatternDomain& domain() const { return *domain_; }
+
+  /// Shared ownership of the domain, for consumers that outlive the caller.
+  [[nodiscard]] std::shared_ptr<const PatternDomain> share() const {
+    return domain_;
+  }
+
+  /// Number of labels: 4^n - 3^n + 1.
+  [[nodiscard]] std::size_t size() const { return domain_->size(); }
+
+  /// |S| = 2^n binary labels.
+  [[nodiscard]] std::size_t binary_count() const {
+    return domain_->binary_count();
+  }
+
+  // --- banned-set class arithmetic ---------------------------------------
+
+  [[nodiscard]] std::size_t num_classes() const {
+    return domain_->num_classes();
+  }
+  [[nodiscard]] std::size_t control_class_count() const { return wires_; }
+  [[nodiscard]] std::size_t feynman_class_count() const {
+    return wires_ * (wires_ - 1) / 2;
+  }
+  [[nodiscard]] BannedClass control_class(std::size_t wire) const {
+    return domain_->control_class(wire);
+  }
+  [[nodiscard]] BannedClass feynman_class(std::size_t a, std::size_t b) const {
+    return domain_->feynman_class(a, b);
+  }
+  [[nodiscard]] std::uint32_t class_mask(std::uint32_t label) const {
+    return domain_->class_mask(label);
+  }
+  [[nodiscard]] std::string class_name(BannedClass c) const {
+    return domain_->class_name(c);
+  }
+  [[nodiscard]] BannedClass class_from_name(const std::string& name) const {
+    return domain_->class_from_name(name);
+  }
+
+  // --- library shape -----------------------------------------------------
+
+  /// Gates per control class: controlled-V and V+ for each other wire.
+  [[nodiscard]] std::size_t gates_per_control_class() const {
+    return 2 * (wires_ - 1);
+  }
+
+  /// Gates per Feynman class: the two CNOT orientations of the pair.
+  [[nodiscard]] static constexpr std::size_t gates_per_feynman_class() {
+    return 2;
+  }
+
+  /// |L(n)| = n * 2(n-1) + 2 * C(n,2) = 3n(n-1).
+  [[nodiscard]] std::size_t library_size() const {
+    return 3 * wires_ * (wires_ - 1);
+  }
+
+  /// 4^n - 3^n + 1 without building the domain (growth-curve arithmetic).
+  [[nodiscard]] static std::size_t reduced_size(std::size_t wires);
+
+ private:
+  std::size_t wires_;
+  std::shared_ptr<const PatternDomain> domain_;
+};
+
+}  // namespace qsyn::mvl

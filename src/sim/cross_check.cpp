@@ -48,4 +48,14 @@ bool realizes_permutation(const gates::Cascade& cascade,
   return u.approx_equal(expected, tol);
 }
 
+bool realizes_permutation(const gates::Cascade& cascade,
+                          const perm::Permutation& target,
+                          const SimOptions& options, double tol,
+                          UnitaryCache* cache) {
+  const la::Matrix u = cascade_unitary(cascade, options, cache);
+  const la::Matrix expected = permutation_unitary(
+      target.extended_to(std::size_t(1) << cascade.wires()), cascade.wires());
+  return u.approx_equal(expected, tol);
+}
+
 }  // namespace qsyn::sim

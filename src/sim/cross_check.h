@@ -27,6 +27,8 @@
 namespace qsyn::sim {
 
 class BatchSimulator;
+struct SimOptions;
+class UnitaryCache;
 
 /// True iff, for every binary input, simulating `cascade` yields exactly the
 /// product state predicted by the multi-valued model. The cascade should be
@@ -53,5 +55,15 @@ class BatchSimulator;
 [[nodiscard]] bool realizes_permutation(const gates::Cascade& cascade,
                                         const perm::Permutation& target,
                                         double tol = 1e-9);
+
+/// Fused-path variant: the cascade folds into per-block unitaries through
+/// `cache` when given, so verification sweeps over many cascades (e.g. the
+/// per-gate library check at width n) reuse shared folds instead of
+/// rebuilding the full product gate by gate.
+[[nodiscard]] bool realizes_permutation(const gates::Cascade& cascade,
+                                        const perm::Permutation& target,
+                                        const SimOptions& options,
+                                        double tol = 1e-9,
+                                        UnitaryCache* cache = nullptr);
 
 }  // namespace qsyn::sim

@@ -8,17 +8,20 @@
 
 namespace qsyn::synth {
 
-FlatPermStore::FlatPermStore(std::size_t width) : width_(width) {
-  QSYN_CHECK(width >= 1 && width <= 255, "unsupported permutation width");
+FlatPermStore::FlatPermStore(std::size_t width)
+    : width_(width),
+      label_bytes_(width <= 256 ? 1 : 2),
+      stride_(width * label_bytes_) {
+  QSYN_CHECK(width >= 1 && width <= 65536, "unsupported permutation width");
 }
 
 const std::uint8_t* FlatPermStore::row(std::size_t i) const {
   QSYN_CHECK(i < size(), "FlatPermStore row out of range");
-  return bytes_.data() + i * width_;
+  return bytes_.data() + i * stride_;
 }
 
 void FlatPermStore::push_back(const std::uint8_t* row_bytes) {
-  bytes_.insert(bytes_.end(), row_bytes, row_bytes + width_);
+  bytes_.insert(bytes_.end(), row_bytes, row_bytes + stride_);
 }
 
 void FlatPermStore::push_back(const perm::Permutation& p) {
@@ -27,11 +30,12 @@ void FlatPermStore::push_back(const perm::Permutation& p) {
 }
 
 std::vector<std::uint8_t> FlatPermStore::encode_row(
-    const perm::Permutation& p) {
-  std::vector<std::uint8_t> row(p.degree());
-  for (std::size_t s = 0; s < row.size(); ++s) {
-    row[s] = static_cast<std::uint8_t>(
-        p.apply(static_cast<std::uint32_t>(s + 1)) - 1);
+    const perm::Permutation& p) const {
+  QSYN_CHECK(p.degree() == width_, "permutation degree mismatch");
+  std::vector<std::uint8_t> row(stride_);
+  for (std::size_t s = 0; s < width_; ++s) {
+    write_label(row.data(), s, label_bytes_,
+                p.apply(static_cast<std::uint32_t>(s + 1)) - 1);
   }
   return row;
 }
@@ -39,7 +43,9 @@ std::vector<std::uint8_t> FlatPermStore::encode_row(
 perm::Permutation FlatPermStore::permutation(std::size_t i) const {
   const std::uint8_t* r = row(i);
   std::vector<std::uint32_t> images(width_);
-  for (std::size_t s = 0; s < width_; ++s) images[s] = r[s] + 1u;
+  for (std::size_t s = 0; s < width_; ++s) {
+    images[s] = read_label(r, s, label_bytes_) + 1u;
+  }
   return perm::Permutation::from_images(std::move(images));
 }
 
@@ -50,7 +56,7 @@ void FlatPermStore::sort_unique() {
   std::vector<std::uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
   const std::uint8_t* base = bytes_.data();
-  const std::size_t w = width_;
+  const std::size_t w = stride_;
   std::sort(order.begin(), order.end(),
             [base, w](std::uint32_t a, std::uint32_t b) {
               return std::memcmp(base + std::size_t(a) * w,
@@ -73,7 +79,7 @@ void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
   if (empty() || other.empty()) return;
   std::vector<std::uint8_t> kept;
   kept.reserve(bytes_.size());
-  const std::size_t w = width_;
+  const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
   const std::size_t n = size();
@@ -101,7 +107,7 @@ void FlatPermStore::merge_sorted(const FlatPermStore& other) {
   if (other.empty()) return;
   std::vector<std::uint8_t> merged;
   merged.reserve(bytes_.size() + other.bytes_.size());
-  const std::size_t w = width_;
+  const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
   const std::size_t n = size();
@@ -126,7 +132,7 @@ void FlatPermStore::merge_sorted(const FlatPermStore& other) {
 }
 
 bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
-  const std::size_t w = width_;
+  const std::size_t w = stride_;
   std::size_t lo = 0;
   std::size_t hi = size();
   while (lo < hi) {

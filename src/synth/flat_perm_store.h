@@ -3,12 +3,20 @@
 // Flat, cache-friendly storage for millions of small permutations.
 //
 // The FMCF breadth-first closure (Section 3 of the paper) manipulates sets of
-// permutations on the 38-label domain. At the paper's bound cb = 7 there are
-// ~690k reachable permutations and the frontier grows ~4.5x per level, so the
-// enumerator stores each permutation as `width` contiguous bytes (0-based
-// images) inside one large buffer, and implements set algebra
-// (sort / unique / difference / merge) over that buffer. This keeps the
-// per-element overhead at zero and makes the sweeps sequential.
+// permutations on the reduced pattern domain (38 labels for 3 wires). At the
+// paper's bound cb = 7 there are ~690k reachable permutations and the
+// frontier grows ~4.5x per level, so the enumerator stores each permutation
+// as one fixed-width row of 0-based images inside one large buffer, and
+// implements set algebra (sort / unique / difference / merge) over that
+// buffer. This keeps the per-element overhead at zero and makes the sweeps
+// sequential.
+//
+// Label width scales with the domain: rows hold one byte per label for
+// domains up to 256 labels (every domain through 4 wires) and two
+// *big-endian* bytes per label beyond that (the 5-wire reduced domain has
+// 782 labels). Big-endian packing keeps the raw-byte memcmp order of rows
+// identical to the label-lexicographic order, so the entire set algebra —
+// and the ShardedPermStore partition built on top — is label-width agnostic.
 #pragma once
 
 #include <cstddef>
@@ -19,21 +27,53 @@
 
 namespace qsyn::synth {
 
-/// A dynamically sized array of fixed-width byte rows, each row one
-/// permutation image table (0-based). Rows compare lexicographically.
+/// A dynamically sized array of fixed-width rows, each row one permutation
+/// image table (0-based). Rows compare lexicographically by label.
 class FlatPermStore {
  public:
-  /// `width` = permutation degree (bytes per row); images must fit a byte.
+  /// `width` = permutation degree (labels per row), at most 65536.
   explicit FlatPermStore(std::size_t width);
 
   [[nodiscard]] std::size_t width() const { return width_; }
-  [[nodiscard]] std::size_t size() const { return bytes_.size() / width_; }
+
+  /// Bytes per label: 1 while labels fit a byte, else 2 (big-endian).
+  [[nodiscard]] std::size_t label_bytes() const { return label_bytes_; }
+
+  /// Bytes per row = width() * label_bytes().
+  [[nodiscard]] std::size_t row_stride() const { return stride_; }
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size() / stride_; }
   [[nodiscard]] bool empty() const { return bytes_.empty(); }
 
-  /// Pointer to row `i` (width() bytes).
+  /// Pointer to row `i` (row_stride() bytes).
   [[nodiscard]] const std::uint8_t* row(std::size_t i) const;
 
-  /// Appends a row (must be width() bytes of 0-based images).
+  /// Label `s` of row `i`, decoded.
+  [[nodiscard]] std::uint32_t label(std::size_t i, std::size_t s) const {
+    return read_label(row(i), s, label_bytes_);
+  }
+
+  /// Decodes label `s` from a raw row in this store's encoding.
+  [[nodiscard]] static std::uint32_t read_label(const std::uint8_t* row_bytes,
+                                                std::size_t s,
+                                                std::size_t label_bytes) {
+    if (label_bytes == 1) return row_bytes[s];
+    return static_cast<std::uint32_t>(row_bytes[2 * s]) << 8 |
+           row_bytes[2 * s + 1];
+  }
+
+  /// Encodes label `s` of a raw row in this store's encoding.
+  static void write_label(std::uint8_t* row_bytes, std::size_t s,
+                          std::size_t label_bytes, std::uint32_t value) {
+    if (label_bytes == 1) {
+      row_bytes[s] = static_cast<std::uint8_t>(value);
+    } else {
+      row_bytes[2 * s] = static_cast<std::uint8_t>(value >> 8);
+      row_bytes[2 * s + 1] = static_cast<std::uint8_t>(value);
+    }
+  }
+
+  /// Appends a row (must be row_stride() bytes in this store's encoding).
   void push_back(const std::uint8_t* row_bytes);
 
   /// Appends a Permutation (degree must equal width()).
@@ -57,11 +97,12 @@ class FlatPermStore {
   /// Binary search in a sorted store.
   [[nodiscard]] bool contains_sorted(const std::uint8_t* row_bytes) const;
 
-  /// Encodes `p` as a degree-wide label row (the store's row format).
-  [[nodiscard]] static std::vector<std::uint8_t> encode_row(
-      const perm::Permutation& p);
+  /// Encodes `p` as a row in this store's format (degree must equal
+  /// width()).
+  [[nodiscard]] std::vector<std::uint8_t> encode_row(
+      const perm::Permutation& p) const;
 
-  /// Appends every row of `other` as-is (no ordering requirements).
+  /// Appends every row of `other` as-is (widths must match).
   void append(const FlatPermStore& other);
 
   /// Removes all rows but keeps the allocation (hot-loop buffer reuse).
@@ -73,10 +114,12 @@ class FlatPermStore {
   /// Bytes of heap memory currently held.
   [[nodiscard]] std::size_t memory_bytes() const { return bytes_.capacity(); }
 
-  void reserve_rows(std::size_t rows) { bytes_.reserve(rows * width_); }
+  void reserve_rows(std::size_t rows) { bytes_.reserve(rows * stride_); }
 
  private:
   std::size_t width_;
+  std::size_t label_bytes_;
+  std::size_t stride_;
   std::vector<std::uint8_t> bytes_;
 };
 

@@ -35,13 +35,15 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
       options_(options),
       width_(library.domain().size()),
       binary_count_(library.domain().binary_count()),
+      label_bytes_(width_ <= 256 ? 1 : 2),
+      stride_(width_ * label_bytes_),
       threads_(resolve_threads(options.threads)),
       shards_(resolve_shards(options.shards, threads_)),
+      backwalk_pool_busy_(std::make_unique<std::atomic<bool>>(false)),
       seen_(library.domain().size(), shards_) {
   const mvl::PatternDomain& domain = library.domain();
-  QSYN_CHECK(domain.wires() <= 4,
-             "FMCF G-set keys support up to 4 wires (16 binary labels)");
-  QSYN_CHECK(width_ <= 255, "domain too large for byte-packed permutations");
+  QSYN_CHECK(domain.wires() <= 5,
+             "FMCF G-set keys support up to 5 wires (32 binary labels)");
   // Sanity: the first 2^n labels must be the binary patterns (reduced-domain
   // ordering), otherwise S != {1..2^n} and the restriction logic is wrong.
   for (std::uint32_t label = 1; label <= binary_count_; ++label) {
@@ -54,12 +56,12 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
   gate_class_bits_.reserve(library.size());
   for (std::size_t g = 0; g < library.size(); ++g) {
     const perm::Permutation& p = library.permutation(g);
-    std::vector<std::uint8_t> table(width_);
-    std::vector<std::uint8_t> inv(width_);
+    std::vector<std::uint16_t> table(width_);
+    std::vector<std::uint16_t> inv(width_);
     for (std::size_t s = 0; s < width_; ++s) {
       const std::uint32_t image = p.apply(static_cast<std::uint32_t>(s + 1));
-      table[s] = static_cast<std::uint8_t>(image - 1);
-      inv[image - 1] = static_cast<std::uint8_t>(s);
+      table[s] = static_cast<std::uint16_t>(image - 1);
+      inv[image - 1] = static_cast<std::uint16_t>(s);
     }
     gate_tables_.push_back(std::move(table));
     gate_inv_tables_.push_back(std::move(inv));
@@ -77,8 +79,7 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
   frontiers_.emplace_back(width_);
   frontiers_.back().push_back(id);
 
-  const std::uint64_t id_key =
-      g_key_of_row(frontiers_.back().row(0));
+  const GKey id_key = g_key_of_row(frontiers_.back().row(0));
   g_seen_keys_.push_back(id_key);
   g_index_.emplace(id_key, GEntry{0, 0});
 }
@@ -90,25 +91,33 @@ FmcfEnumerator& FmcfEnumerator::operator=(FmcfEnumerator&&) noexcept = default;
 std::uint32_t FmcfEnumerator::banned_mask_of_row(
     const std::uint8_t* row) const {
   std::uint32_t mask = 0;
-  for (std::size_t s = 0; s < binary_count_; ++s) {
-    mask |= label_banned_[row[s]];
+  if (label_bytes_ == 1) {
+    for (std::size_t s = 0; s < binary_count_; ++s) {
+      mask |= label_banned_[row[s]];
+    }
+  } else {
+    for (std::size_t s = 0; s < binary_count_; ++s) {
+      mask |= label_banned_[static_cast<std::size_t>(row[2 * s]) << 8 |
+                            row[2 * s + 1]];
+    }
   }
   return mask;
 }
 
 bool FmcfEnumerator::row_is_binary_preserving(const std::uint8_t* row) const {
   for (std::size_t s = 0; s < binary_count_; ++s) {
-    if (row[s] >= binary_count_) return false;
+    if (row_label(row, s) >= binary_count_) return false;
   }
   return true;
 }
 
-std::uint64_t FmcfEnumerator::g_key_of_row(const std::uint8_t* row) const {
-  // n bits per binary point; at most 16 points x 4 bits = 64 bits.
-  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
-  std::uint64_t key = 0;
+GKey FmcfEnumerator::g_key_of_row(const std::uint8_t* row) const {
+  // One byte per binary point; at most 32 points (5 wires) x 8 bits fill the
+  // 256-bit key. Binary images are < 2^n <= 32, so a byte always suffices.
+  GKey key{};
   for (std::size_t s = 0; s < binary_count_; ++s) {
-    key |= static_cast<std::uint64_t>(row[s]) << (bits * s);
+    key[s >> 3] |= static_cast<std::uint64_t>(row_label(row, s))
+                   << (8 * (s & 7));
   }
   return key;
 }
@@ -150,7 +159,7 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
     shard_chunks.reserve(shards_);
     for (std::size_t s = 0; s < shards_; ++s) shard_chunks.emplace_back(width_);
     std::vector<std::vector<std::uint8_t>> outs(
-        threads_, std::vector<std::uint8_t>(width_));
+        threads_, std::vector<std::uint8_t>(stride_));
 
     // A super-chunk expands to at most chunk_rows candidate rows before the
     // per-shard set algebra drains the buffers. Threaded sweeps hold each
@@ -185,8 +194,20 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
               options_.use_banned_sets ? banned_mask_of_row(row) : 0u;
           for (std::size_t g = 0; g < gate_count; ++g) {
             if ((banned & gate_class_bits_[g]) != 0) continue;
-            const std::uint8_t* table = gate_tables_[g].data();
-            for (std::size_t s = 0; s < width_; ++s) out[s] = table[row[s]];
+            const std::uint16_t* table = gate_tables_[g].data();
+            if (label_bytes_ == 1) {
+              for (std::size_t s = 0; s < width_; ++s) {
+                out[s] = static_cast<std::uint8_t>(table[row[s]]);
+              }
+            } else {
+              for (std::size_t s = 0; s < width_; ++s) {
+                const std::uint16_t image =
+                    table[static_cast<std::size_t>(row[2 * s]) << 8 |
+                          row[2 * s + 1]];
+                out[2 * s] = static_cast<std::uint8_t>(image >> 8);
+                out[2 * s + 1] = static_cast<std::uint8_t>(image);
+              }
+            }
             buffers[route ? sharded_fresh.shard_of(out.data()) : 0].push_back(
                 out.data());
           }
@@ -219,12 +240,12 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
   FlatPermStore fresh = sharded_fresh.take_flatten();
 
   // Extract pre_G[k] and G[k].
-  std::vector<std::uint64_t> level_keys;
-  std::vector<std::pair<std::uint64_t, std::size_t>> key_rows;
+  std::vector<GKey> level_keys;
+  std::vector<std::pair<GKey, std::size_t>> key_rows;
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     const std::uint8_t* row = fresh.row(i);
     if (!row_is_binary_preserving(row)) continue;
-    const std::uint64_t key = g_key_of_row(row);
+    const GKey key = g_key_of_row(row);
     level_keys.push_back(key);
     key_rows.emplace_back(key, i);
   }
@@ -233,13 +254,13 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
                    level_keys.end());
   const std::size_t pre_g = level_keys.size();
 
-  std::vector<std::uint64_t> new_keys;
+  std::vector<GKey> new_keys;
   std::set_difference(level_keys.begin(), level_keys.end(),
                       g_seen_keys_.begin(), g_seen_keys_.end(),
                       std::back_inserter(new_keys));
   // Register the first (lowest-row) witness for every new key.
   std::sort(key_rows.begin(), key_rows.end());
-  for (const std::uint64_t key : new_keys) {
+  for (const GKey& key : new_keys) {
     const auto it = std::lower_bound(
         key_rows.begin(), key_rows.end(),
         std::make_pair(key, std::size_t{0}));
@@ -247,7 +268,7 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
                "witness row must exist for a new G key");
     g_index_.emplace(key, GEntry{k, it->second});
   }
-  std::vector<std::uint64_t> merged_keys;
+  std::vector<GKey> merged_keys;
   merged_keys.reserve(g_seen_keys_.size() + new_keys.size());
   std::merge(g_seen_keys_.begin(), g_seen_keys_.end(), new_keys.begin(),
              new_keys.end(), std::back_inserter(merged_keys));
@@ -276,14 +297,12 @@ void FmcfEnumerator::run_to(unsigned max_cost) {
 std::vector<perm::Permutation> FmcfEnumerator::g_set(unsigned k) const {
   QSYN_CHECK(k <= levels_done(), "level not yet computed");
   std::vector<perm::Permutation> out;
-  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
   for (const auto& [key, entry] : g_index_) {
     if (entry.cost != k) continue;
     std::vector<std::uint32_t> images(binary_count_);
     for (std::size_t s = 0; s < binary_count_; ++s) {
-      images[s] = static_cast<std::uint32_t>(
-                      (key >> (bits * s)) & ((1u << bits) - 1)) +
-                  1;
+      images[s] =
+          static_cast<std::uint32_t>(key[s >> 3] >> (8 * (s & 7)) & 0xff) + 1;
     }
     out.push_back(perm::Permutation::from_images(std::move(images)));
   }
@@ -295,12 +314,11 @@ std::optional<GEntry> FmcfEnumerator::find(
     const perm::Permutation& restricted) const {
   QSYN_CHECK(restricted.degree() <= binary_count_,
              "restricted permutation degree exceeds 2^n");
-  const unsigned bits = static_cast<unsigned>(library_->domain().wires());
-  std::uint64_t key = 0;
+  GKey key{};
   for (std::size_t s = 0; s < binary_count_; ++s) {
     const std::uint64_t image =
         restricted.apply(static_cast<std::uint32_t>(s + 1)) - 1;
-    key |= image << (bits * s);
+    key[s >> 3] |= image << (8 * (s & 7));
   }
   const auto it = g_index_.find(key);
   if (it == g_index_.end()) return std::nullopt;
@@ -317,26 +335,79 @@ gates::Cascade FmcfEnumerator::witness_for_row(unsigned k,
              "witness reconstruction requires track_witnesses");
   QSYN_CHECK(k <= levels_done(), "level not yet computed");
   // Back-walk: repeatedly find a gate d and predecessor prev in B[j-1] with
-  // prev * d == current and the product reasonable.
+  // prev * d == current and the product reasonable. Both paths pick the
+  // lowest valid gate index, so serial and pooled walks reconstruct the
+  // same cascade.
   std::vector<gates::Gate> sequence;
   std::vector<std::uint8_t> current(frontiers_[k].row(row_index),
-                                    frontiers_[k].row(row_index) + width_);
-  std::vector<std::uint8_t> prev(width_);
-  for (unsigned j = k; j >= 1; --j) {
-    bool found = false;
-    for (std::size_t g = 0; g < gate_tables_.size() && !found; ++g) {
-      const std::uint8_t* inv = gate_inv_tables_[g].data();
-      for (std::size_t s = 0; s < width_; ++s) prev[s] = inv[current[s]];
-      if (!frontiers_[j - 1].contains_sorted(prev.data())) continue;
-      if (options_.use_banned_sets &&
-          (banned_mask_of_row(prev.data()) & gate_class_bits_[g]) != 0) {
-        continue;
+                                    frontiers_[k].row(row_index) + stride_);
+  const std::size_t gate_count = gate_inv_tables_.size();
+  std::vector<std::uint8_t> cands(gate_count * stride_);
+  std::vector<char> valid(gate_count, 0);
+
+  const auto invert_into = [&](std::size_t g, std::uint8_t* prev) {
+    const std::uint16_t* inv = gate_inv_tables_[g].data();
+    if (label_bytes_ == 1) {
+      for (std::size_t s = 0; s < width_; ++s) {
+        prev[s] = static_cast<std::uint8_t>(inv[current[s]]);
       }
-      sequence.push_back(library_->gate(g));
-      current = prev;
-      found = true;
+    } else {
+      for (std::size_t s = 0; s < width_; ++s) {
+        const std::uint16_t image =
+            inv[static_cast<std::size_t>(current[2 * s]) << 8 |
+                current[2 * s + 1]];
+        prev[2 * s] = static_cast<std::uint8_t>(image >> 8);
+        prev[2 * s + 1] = static_cast<std::uint8_t>(image);
+      }
     }
-    QSYN_CHECK(found, "back-walk failed: frontier inconsistency");
+  };
+  const auto candidate_ok = [&](unsigned j, const std::uint8_t* prev,
+                                std::size_t g) {
+    if (!frontiers_[j - 1].contains_sorted(prev)) return false;
+    return !options_.use_banned_sets ||
+           (banned_mask_of_row(prev) & gate_class_bits_[g]) == 0;
+  };
+
+  for (unsigned j = k; j >= 1; --j) {
+    std::size_t chosen = gate_count;
+    // ThreadPool::run is not reentrant, so only one back-walk may own the
+    // pool at a time; concurrent witness reconstructions (and calls from
+    // inside another pool round) degrade to the serial scan below.
+    const bool pooled = pool_ != nullptr && threads_ > 1 && gate_count > 1 &&
+                        !backwalk_pool_busy_->exchange(true);
+    if (pooled) {
+      // Pooled scan: every candidate gate inverts into its own slice, then
+      // the lowest valid index wins (matching the serial first-hit order).
+      try {
+        pool_->run(gate_count, [&](std::size_t g, std::size_t) {
+          std::uint8_t* prev = cands.data() + g * stride_;
+          invert_into(g, prev);
+          valid[g] = candidate_ok(j, prev, g) ? 1 : 0;
+        });
+      } catch (...) {
+        backwalk_pool_busy_->store(false);
+        throw;
+      }
+      backwalk_pool_busy_->store(false);
+      for (std::size_t g = 0; g < gate_count; ++g) {
+        if (valid[g] != 0) {
+          chosen = g;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t g = 0; g < gate_count; ++g) {
+        std::uint8_t* prev = cands.data() + g * stride_;
+        invert_into(g, prev);
+        if (candidate_ok(j, prev, g)) {
+          chosen = g;
+          break;
+        }
+      }
+    }
+    QSYN_CHECK(chosen < gate_count, "back-walk failed: frontier inconsistency");
+    sequence.push_back(library_->gate(chosen));
+    std::copy_n(cands.data() + chosen * stride_, stride_, current.data());
   }
   std::reverse(sequence.begin(), sequence.end());
   return gates::Cascade(library_->domain().wires(), std::move(sequence));
@@ -354,7 +425,7 @@ std::vector<std::size_t> FmcfEnumerator::implementations(
     if (!row_is_binary_preserving(row)) continue;
     bool match = true;
     for (std::size_t s = 0; s < binary_count_ && match; ++s) {
-      match = static_cast<std::uint32_t>(row[s]) + 1 ==
+      match = row_label(row, s) + 1 ==
               restricted.apply(static_cast<std::uint32_t>(s + 1));
     }
     if (match) rows.push_back(i);

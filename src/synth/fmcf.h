@@ -25,6 +25,8 @@
 // crashing on the empty frontier.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -86,12 +88,31 @@ struct GEntry {
   std::size_t frontier_index = 0;  // row in the B[cost] store (0 for cost 0)
 };
 
+/// Key identifying a member of G: the restricted permutation on the binary
+/// labels, one byte per point (2^n points, so 256 bits cover up to 5 wires).
+using GKey = std::array<std::uint64_t, 4>;
+
+struct GKeyHash {
+  std::size_t operator()(const GKey& key) const {
+    // splitmix64-style mix of the four words.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t word : key) {
+      std::uint64_t x = word + h;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      h = x ^ (x >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 /// Breadth-first FMCF closure over a gate library.
 class FmcfEnumerator {
  public:
   /// The library must be built over a *reduced* domain whose first 2^n
-  /// labels are the binary patterns. Supports up to 4 wires (G-set keys are
-  /// packed into 64 bits).
+  /// labels are the binary patterns. Supports up to 5 wires (G-set keys
+  /// pack one byte per binary label into 256 bits; the 782-label 5-wire
+  /// domain uses the stores' two-byte label rows).
   explicit FmcfEnumerator(const gates::GateLibrary& library,
                           FmcfOptions options = {});
   ~FmcfEnumerator();
@@ -141,7 +162,12 @@ class FmcfEnumerator {
 
   /// Reconstructs one minimal witness cascade for an entry by the paper's
   /// back-walk (find d with b*(d)^{-1} in B[k-1] and the product reasonable).
-  /// Requires track_witnesses.
+  /// Each back-step scans the candidate gates across the worker pool when
+  /// the sweep ran multi-threaded, always selecting the lowest valid gate
+  /// index, so the reconstructed cascade is thread-count invariant. Safe to
+  /// call concurrently with other witness reconstructions (the pool admits
+  /// one back-walk at a time; contending callers run the serial scan) but
+  /// not with advance(). Requires track_witnesses.
   [[nodiscard]] gates::Cascade witness(const GEntry& entry) const;
 
   /// All rows b in B[k] whose restriction to S equals `restricted` —
@@ -164,27 +190,37 @@ class FmcfEnumerator {
 
  private:
   [[nodiscard]] std::uint32_t banned_mask_of_row(const std::uint8_t* row) const;
-  [[nodiscard]] std::uint64_t g_key_of_row(const std::uint8_t* row) const;
+  [[nodiscard]] GKey g_key_of_row(const std::uint8_t* row) const;
   [[nodiscard]] bool row_is_binary_preserving(const std::uint8_t* row) const;
+  [[nodiscard]] std::uint32_t row_label(const std::uint8_t* row,
+                                        std::size_t s) const {
+    return FlatPermStore::read_label(row, s, label_bytes_);
+  }
 
   const gates::GateLibrary* library_;  // outlives the enumerator
   FmcfOptions options_;
-  std::size_t width_;          // domain size (38 for 3 wires)
+  std::size_t width_;          // domain size (38 for 3 wires, 782 for 5)
   std::size_t binary_count_;   // 2^n
+  std::size_t label_bytes_;    // bytes per label in store rows (1 or 2)
+  std::size_t stride_;         // bytes per row = width_ * label_bytes_
   std::size_t threads_;        // resolved worker count (>= 1)
   std::size_t shards_;         // resolved shard count (>= 1)
   std::unique_ptr<ThreadPool> pool_;  // created lazily by advance()
-  std::vector<std::vector<std::uint8_t>> gate_tables_;      // [gate][label0]
-  std::vector<std::vector<std::uint8_t>> gate_inv_tables_;  // [gate][label0]
-  std::vector<std::uint32_t> gate_class_bits_;              // [gate]
-  std::vector<std::uint32_t> label_banned_;                 // [label0]
+  // True while a witness back-walk owns the pool (ThreadPool::run is not
+  // reentrant); contending const callers degrade to the serial scan.
+  // Behind a unique_ptr so the enumerator stays movable.
+  std::unique_ptr<std::atomic<bool>> backwalk_pool_busy_;
+  std::vector<std::vector<std::uint16_t>> gate_tables_;      // [gate][label0]
+  std::vector<std::vector<std::uint16_t>> gate_inv_tables_;  // [gate][label0]
+  std::vector<std::uint32_t> gate_class_bits_;               // [gate]
+  std::vector<std::uint32_t> label_banned_;                  // [label0]
 
   ShardedPermStore seen_;                // A[k], shard-sorted
   std::vector<FlatPermStore> frontiers_; // B[0..k]; emptied if !track_witnesses
   std::vector<FmcfLevelStats> stats_;
 
-  std::vector<std::uint64_t> g_seen_keys_;                // sorted
-  std::unordered_map<std::uint64_t, GEntry> g_index_;     // key -> entry
+  std::vector<GKey> g_seen_keys_;                          // sorted
+  std::unordered_map<GKey, GEntry, GKeyHash> g_index_;     // key -> entry
 };
 
 }  // namespace qsyn::synth

@@ -125,7 +125,8 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
   const std::size_t width = domain.size();
   const std::size_t binary_count = domain.binary_count();
 
-  // Byte tables mirroring the enumerator's hot path.
+  // Label tables mirroring the enumerator's hot path (16-bit labels cover
+  // every supported domain width, including the 782-label 5-wire domain).
   std::vector<const perm::Permutation*> perms;
   std::vector<std::uint32_t> class_bits;
   for (std::size_t g = 0; g < library_->size(); ++g) {
@@ -133,12 +134,12 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
     class_bits.push_back(1u << library_->banned_class_of(g));
   }
 
-  std::vector<std::uint8_t> state(width);
+  std::vector<std::uint16_t> state(width);
   for (std::size_t s = 0; s < width; ++s) {
-    state[s] = static_cast<std::uint8_t>(s);
+    state[s] = static_cast<std::uint16_t>(s);
   }
 
-  auto matches_target = [&](const std::uint8_t* row) {
+  auto matches_target = [&](const std::uint16_t* row) {
     for (std::size_t s = 0; s < binary_count; ++s) {
       if (static_cast<std::uint32_t>(row[s]) + 1 !=
           stripped.core_target.apply(static_cast<std::uint32_t>(s + 1))) {
@@ -148,7 +149,7 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
     return true;
   };
 
-  const auto banned_of = [&](const std::uint8_t* row) {
+  const auto banned_of = [&](const std::uint16_t* row) {
     std::uint32_t banned = 0;
     for (std::size_t s = 0; s < binary_count; ++s) {
       banned |= domain.banned_mask(row[s] + 1);
@@ -160,10 +161,10 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
   // more gates starting from `start` (a width-byte label image table).
   // Allocates its own scratch, so concurrent invocations are independent;
   // everything captured is read-only.
-  const auto dfs_count = [&](const std::uint8_t* start,
+  const auto dfs_count = [&](const std::uint16_t* start,
                              unsigned remaining) -> std::size_t {
     std::size_t count = 0;
-    std::vector<std::uint8_t> scratch((remaining + 1) * width);
+    std::vector<std::uint16_t> scratch((remaining + 1) * width);
     std::copy(start, start + width, scratch.begin());
     // Recursive walk via explicit stack of gate choices.
     struct Frame {
@@ -172,7 +173,7 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
     std::vector<Frame> stack(1);
     while (!stack.empty()) {
       const std::size_t depth = stack.size() - 1;
-      const std::uint8_t* current = scratch.data() + depth * width;
+      const std::uint16_t* current = scratch.data() + depth * width;
       if (depth == remaining) {
         if (matches_target(current)) ++count;
         stack.pop_back();
@@ -183,10 +184,10 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
       for (std::size_t g = stack.back().next_gate; g < perms.size(); ++g) {
         if ((banned & class_bits[g]) != 0) continue;
         stack.back().next_gate = g + 1;
-        std::uint8_t* next = scratch.data() + (depth + 1) * width;
+        std::uint16_t* next = scratch.data() + (depth + 1) * width;
         const perm::Permutation& p = *perms[g];
         for (std::size_t s = 0; s < width; ++s) {
-          next[s] = static_cast<std::uint8_t>(p.apply(current[s] + 1) - 1);
+          next[s] = static_cast<std::uint16_t>(p.apply(current[s] + 1) - 1);
         }
         stack.emplace_back();
         descended = true;
@@ -208,21 +209,22 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
   // kPrefixDepth gates, then count each prefix's subtree as one pool task.
   // The tasks partition the serial DFS tree, so the summed count is
   // thread-count invariant by construction.
-  std::vector<std::vector<std::uint8_t>> prefixes;
-  std::vector<std::uint8_t> state1(width);
-  std::vector<std::uint8_t> state2(width);
+  std::vector<std::vector<std::uint16_t>> prefixes;
+  std::vector<std::uint16_t> state1(width);
+  std::vector<std::uint16_t> state2(width);
   const std::uint32_t banned0 = banned_of(state.data());
   for (std::size_t g1 = 0; g1 < perms.size(); ++g1) {
     if ((banned0 & class_bits[g1]) != 0) continue;
     for (std::size_t s = 0; s < width; ++s) {
-      state1[s] = static_cast<std::uint8_t>(perms[g1]->apply(state[s] + 1) - 1);
+      state1[s] =
+          static_cast<std::uint16_t>(perms[g1]->apply(state[s] + 1) - 1);
     }
     const std::uint32_t banned1 = banned_of(state1.data());
     for (std::size_t g2 = 0; g2 < perms.size(); ++g2) {
       if ((banned1 & class_bits[g2]) != 0) continue;
       for (std::size_t s = 0; s < width; ++s) {
         state2[s] =
-            static_cast<std::uint8_t>(perms[g2]->apply(state1[s] + 1) - 1);
+            static_cast<std::uint16_t>(perms[g2]->apply(state1[s] + 1) - 1);
       }
       prefixes.push_back(state2);
     }

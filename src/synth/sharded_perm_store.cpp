@@ -7,7 +7,7 @@
 namespace qsyn::synth {
 
 ShardedPermStore::ShardedPermStore(std::size_t width, std::size_t shard_count)
-    : width_(width) {
+    : width_(width), label_bytes_(width <= 256 ? 1 : 2) {
   QSYN_CHECK(shard_count >= 1 && shard_count <= 65536,
              "shard count must be in [1, 65536]");
   shards_.reserve(shard_count);
@@ -26,7 +26,7 @@ void ShardedPermStore::push_back(const std::uint8_t* row_bytes) {
 
 void ShardedPermStore::push_back(const perm::Permutation& p) {
   QSYN_CHECK(p.degree() == width_, "permutation degree mismatch");
-  push_back(FlatPermStore::encode_row(p).data());
+  push_back(shards_[0].encode_row(p).data());
 }
 
 void ShardedPermStore::sort_unique() {

@@ -31,14 +31,20 @@ class ShardedPermStore {
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
-  /// Index of the shard owning `row_bytes` (monotone in row order). Even
-  /// spread and monotonicity assume label rows (bytes < width); bytes out
-  /// of that range are clamped, which stays in bounds but may skew or
-  /// reorder routing.
+  /// Index of the shard owning `row_bytes` (monotone in row order; rows are
+  /// in the FlatPermStore label encoding for this width). Even spread and
+  /// monotonicity assume label rows (labels < width); labels out of that
+  /// range are clamped, which stays in bounds but may skew or reorder
+  /// routing.
   [[nodiscard]] std::size_t shard_of(const std::uint8_t* row_bytes) const {
-    const std::size_t b0 = std::min<std::size_t>(row_bytes[0], width_ - 1);
+    const std::size_t lb = label_bytes_;
+    const std::size_t b0 = std::min<std::size_t>(
+        FlatPermStore::read_label(row_bytes, 0, lb), width_ - 1);
     const std::size_t b1 =
-        width_ > 1 ? std::min<std::size_t>(row_bytes[1], width_ - 1) : 0;
+        width_ > 1 ? std::min<std::size_t>(
+                         FlatPermStore::read_label(row_bytes, 1, lb),
+                         width_ - 1)
+                   : 0;
     return (b0 * width_ + b1) * shards_.size() / (width_ * width_);
   }
 
@@ -87,6 +93,7 @@ class ShardedPermStore {
 
  private:
   std::size_t width_;
+  std::size_t label_bytes_;  // mirrors the shards' FlatPermStore encoding
   std::vector<FlatPermStore> shards_;
 };
 

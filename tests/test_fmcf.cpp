@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/error.h"
 #include "gates/library.h"
@@ -400,6 +403,68 @@ TEST(FmcfThreads, ShardingAloneIsInvariant) {
   for (std::size_t k = 0; k < 5; ++k) {
     EXPECT_EQ(e.stats()[k].g_new, expected_g[k]);
   }
+}
+
+TEST(FmcfThreads, WitnessBackWalkIsThreadCountInvariant) {
+  // The MCE back-walk scans candidate gates across the worker pool; both
+  // the pooled and the serial scan select the lowest valid gate index, so
+  // every thread count must reconstruct identical witness cascades (the
+  // back-walk analogue of the count_sequences assertion below).
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+
+  const auto witnesses_with = [&](std::size_t threads) {
+    FmcfOptions options;
+    options.threads = threads;
+    if (threads > 1) options.shards = 8;
+    FmcfEnumerator e(library, options);
+    e.run_to(4);
+    std::vector<std::string> out;
+    for (unsigned k = 1; k <= 4; ++k) {
+      for (const auto& g : e.g_set(k)) {  // g_set is sorted: stable order
+        const auto entry = e.find(g);
+        EXPECT_TRUE(entry.has_value());
+        out.push_back(e.witness(*entry).to_string());
+      }
+    }
+    return out;
+  };
+
+  const std::vector<std::string> reference = witnesses_with(1);
+  ASSERT_EQ(reference.size(), 6u + 24u + 51u + 84u);
+  for (const std::size_t threads : {2u, 4u}) {
+    EXPECT_EQ(witnesses_with(threads), reference) << "threads " << threads;
+  }
+}
+
+TEST(FmcfThreads, ConcurrentWitnessReconstructionIsSafe) {
+  // witness() drives the shared pool, which is not reentrant: concurrent
+  // reconstructions must degrade gracefully (one owns the pool, the rest
+  // run the serial scan) instead of throwing, and all must agree with the
+  // single-threaded result.
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  FmcfOptions options;
+  options.threads = 4;
+  options.shards = 8;
+  FmcfEnumerator e(library, options);
+  e.run_to(4);
+  const auto g4 = e.g_set(4);
+  std::vector<std::string> reference;
+  for (const auto& g : g4) reference.push_back(e.witness(*e.find(g)).to_string());
+
+  std::vector<std::vector<std::string>> results(4);
+  std::vector<std::thread> callers;
+  callers.reserve(results.size());
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    callers.emplace_back([&, t] {
+      for (const auto& g : g4) {
+        results[t].push_back(e.witness(*e.find(g)).to_string());
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (const auto& got : results) EXPECT_EQ(got, reference);
 }
 
 TEST(FmcfThreads, CountSequencesIsThreadCountInvariant) {

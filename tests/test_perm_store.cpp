@@ -316,5 +316,138 @@ TEST(ShardedPermStore, RejectsMismatchedLayouts) {
   EXPECT_THROW(a.subtract_sorted(b), qsyn::LogicError);
 }
 
+// --- wide domains: two-byte label rows (width > 256) -----------------------
+
+/// A random row in the store's encoding for `width` labels (big-endian
+/// two-byte labels when width > 256).
+Row random_wide_row(Rng& rng, std::size_t width) {
+  const std::size_t label_bytes = width <= 256 ? 1 : 2;
+  Row row(width * label_bytes);
+  for (std::size_t s = 0; s < width; ++s) {
+    FlatPermStore::write_label(
+        row.data(), s, label_bytes,
+        static_cast<std::uint32_t>(rng.below(width)));
+  }
+  return row;
+}
+
+TEST(WidePermStore, LabelWidthSelection) {
+  EXPECT_EQ(FlatPermStore(38).label_bytes(), 1u);
+  EXPECT_EQ(FlatPermStore(256).label_bytes(), 1u);
+  EXPECT_EQ(FlatPermStore(257).label_bytes(), 2u);
+  EXPECT_EQ(FlatPermStore(782).label_bytes(), 2u);
+  EXPECT_EQ(FlatPermStore(782).row_stride(), 1564u);
+  EXPECT_THROW(FlatPermStore(65537), qsyn::LogicError);
+}
+
+TEST(WidePermStore, BigEndianEncodingKeepsMemcmpOrderLabelLexicographic) {
+  // The invariant behind reusing the byte-wise set algebra unchanged: for
+  // two-byte labels stored big-endian, memcmp order == label order.
+  Rng rng(7200);
+  const std::size_t width = 300;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Row a = random_wide_row(rng, width);
+    const Row b = random_wide_row(rng, width);
+    int label_cmp = 0;
+    for (std::size_t s = 0; s < width && label_cmp == 0; ++s) {
+      const std::uint32_t la = FlatPermStore::read_label(a.data(), s, 2);
+      const std::uint32_t lb = FlatPermStore::read_label(b.data(), s, 2);
+      label_cmp = la < lb ? -1 : (la > lb ? 1 : 0);
+    }
+    const int byte_cmp = std::memcmp(a.data(), b.data(), a.size());
+    EXPECT_EQ(byte_cmp < 0, label_cmp < 0);
+    EXPECT_EQ(byte_cmp == 0, label_cmp == 0);
+  }
+}
+
+TEST(WidePermStore, SetAlgebraMatchesModelAtWidth300) {
+  Rng rng(7201);
+  const std::size_t width = 300;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Row> a_rows;
+    std::vector<Row> b_rows;
+    for (std::size_t i = 80 + rng.below(80); i > 0; --i) {
+      a_rows.push_back(random_wide_row(rng, width));
+    }
+    for (std::size_t i = 80 + rng.below(80); i > 0; --i) {
+      if (rng.bernoulli(0.5)) {
+        b_rows.push_back(a_rows[rng.below(a_rows.size())]);
+      } else {
+        b_rows.push_back(random_wide_row(rng, width));
+      }
+    }
+    FlatPermStore a = store_of(a_rows, width);
+    FlatPermStore b = store_of(b_rows, width);
+    a.sort_unique();
+    b.sort_unique();
+
+    FlatPermStore merged = a;
+    merged.merge_sorted(b);
+    RowSet union_model = set_of(a_rows);
+    for (const Row& row : b_rows) union_model.insert(row);
+    expect_equals_model(merged, union_model);
+    for (const Row& row : b_rows) {
+      EXPECT_TRUE(merged.contains_sorted(row.data()));
+    }
+
+    a.subtract_sorted(b);
+    RowSet difference_model = set_of(a_rows);
+    for (const Row& row : b_rows) difference_model.erase(row);
+    expect_equals_model(a, difference_model);
+  }
+}
+
+TEST(WidePermStore, PermutationRoundTripAtWidth500) {
+  Rng rng(7202);
+  const std::size_t width = 500;
+  // A random permutation of {1..500} via Fisher-Yates.
+  std::vector<std::uint32_t> images(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    images[i] = static_cast<std::uint32_t>(i + 1);
+  }
+  for (std::size_t i = width - 1; i > 0; --i) {
+    std::swap(images[i], images[rng.below(i + 1)]);
+  }
+  const auto p = perm::Permutation::from_images(std::move(images));
+  FlatPermStore store(width);
+  store.push_back(p);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.permutation(0), p);
+  for (std::size_t s = 0; s < width; ++s) {
+    EXPECT_EQ(store.label(0, s), p.apply(static_cast<std::uint32_t>(s + 1)) - 1);
+  }
+  EXPECT_EQ(store.encode_row(p),
+            Row(store.row(0), store.row(0) + store.row_stride()));
+}
+
+TEST(WidePermStore, ShardRoutingIsMonotoneAndSpreadsAtWidth782) {
+  // 782 = the 5-wire reduced domain. Monotonicity in row order keeps
+  // flatten() globally sorted; spread keeps the parallel phase parallel.
+  Rng rng(7203);
+  for (const std::size_t shard_count : {4u, 16u}) {
+    ShardedPermStore store(782, shard_count);
+    for (int i = 0; i < 300; ++i) {
+      Row a = random_wide_row(rng, 782);
+      Row b = random_wide_row(rng, 782);
+      if (std::memcmp(a.data(), b.data(), a.size()) > 0) std::swap(a, b);
+      EXPECT_LE(store.shard_of(a.data()), store.shard_of(b.data()));
+    }
+    std::vector<std::size_t> hits(shard_count, 0);
+    Row row(2 * 782, 0);
+    for (std::size_t b0 = 0; b0 < 782; b0 += 7) {
+      for (std::size_t b1 = 0; b1 < 782; b1 += 7) {
+        FlatPermStore::write_label(row.data(), 0, 2,
+                                   static_cast<std::uint32_t>(b0));
+        FlatPermStore::write_label(row.data(), 1, 2,
+                                   static_cast<std::uint32_t>(b1));
+        ++hits[store.shard_of(row.data())];
+      }
+    }
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      EXPECT_GT(hits[s], 0u) << "shard " << s << " of " << shard_count;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qsyn::synth
