@@ -22,6 +22,12 @@
 # other fuse_block rows are the speedup evidence — compare them when
 # reporting a PR's perf delta. QSYN_SIM_FUSE / QSYN_THREADS tune the
 # engine's defaults but the bench pins its own knobs per row.
+#
+# bench_catalog measures the persistent-catalog serving layer:
+# bm_catalog_cold_start (open + first locate on a saved cb=7 catalog — the
+# number that replaces the multi-hundred-ms closure sweep), bm_catalog_locate
+# (steady-state single queries), and bm_catalog_server_batch (pooled batch
+# throughput with the witness-cache hit rate as a counter).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

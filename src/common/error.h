@@ -40,6 +40,21 @@ class SynthesisError : public Error {
   explicit SynthesisError(const std::string& what) : Error(what) {}
 };
 
+/// A failed filesystem operation (open, stat, map, read, write). Carries the
+/// operation, the path, and the OS-level detail.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A malformed or incompatible on-disk synthesis catalog: truncated file,
+/// wrong magic/version/endianness, or a domain/library fingerprint that does
+/// not match the library the catalog is being opened against.
+class CatalogError : public Error {
+ public:
+  explicit CatalogError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void fail_check(const char* expr, const char* file, int line,
                              const std::string& message);

@@ -1,0 +1,85 @@
+#include "common/io/mmap_file.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+#if defined(_WIN32)
+#include <fstream>
+#include <iterator>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace qsyn::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path,
+                       const std::string& detail) {
+  throw qsyn::IoError(op + " failed for '" + path + "': " + detail);
+}
+
+}  // namespace
+
+std::shared_ptr<const MmapFile> MmapFile::map(const std::string& path) {
+  return std::shared_ptr<const MmapFile>(new MmapFile(path));
+}
+
+#if defined(_WIN32)
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("open", path, "cannot open for reading");
+  fallback_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) fail("read", path, "stream error");
+  data_ = fallback_.empty() ? nullptr : fallback_.data();
+  size_ = fallback_.size();
+}
+
+MmapFile::~MmapFile() = default;
+
+#else
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("open", path, std::strerror(errno));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    fail("fstat", path, std::strerror(saved));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    fail("open", path, "is a directory");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      fail("mmap", path, std::strerror(saved));
+    }
+    data_ = static_cast<const std::uint8_t*>(addr);
+    mapped_ = true;
+  }
+  ::close(fd);
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+#endif
+
+}  // namespace qsyn::io

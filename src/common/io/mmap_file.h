@@ -1,0 +1,55 @@
+// qsyn/common/io/mmap_file.h
+//
+// Read-only memory-mapped files — the zero-copy substrate of the persistent
+// synthesis catalog (synth/catalog.h).
+//
+// A MmapFile maps one file read-only for its whole lifetime and hands out a
+// stable (data, size) byte view. Consumers that outlive the opener (e.g. the
+// catalog's MmapRowStorage windows) share ownership through the shared_ptr
+// returned by map(), so the mapping is released exactly when the last view
+// dies. Pages are faulted in lazily by the kernel: opening a multi-megabyte
+// catalog costs microseconds, and only the pages a query actually touches
+// ever become resident.
+//
+// Failures (missing file, directory, stat/map errors) throw qsyn::IoError;
+// no partial state escapes. On platforms without POSIX mmap the class
+// degrades to reading the whole file into a private heap buffer — same API,
+// no laziness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qsyn::io {
+
+/// An immutable byte view of one file, memory-mapped where possible.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Throws qsyn::IoError when the file cannot be
+  /// opened, is a directory, or cannot be mapped. An empty file yields a
+  /// valid object with size() == 0 and data() == nullptr.
+  [[nodiscard]] static std::shared_ptr<const MmapFile> map(
+      const std::string& path);
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  explicit MmapFile(const std::string& path);
+
+  std::string path_;
+  std::vector<std::uint8_t> fallback_;  // non-POSIX read-into-heap path
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // true when data_ came from mmap (needs munmap)
+};
+
+}  // namespace qsyn::io

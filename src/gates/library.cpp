@@ -32,6 +32,24 @@ GateLibrary::GateLibrary(const mvl::PatternDomain& domain) : domain_(&domain) {
   }
 }
 
+std::uint64_t GateLibrary::fingerprint() const {
+  // FNV-1a continuation of the domain fingerprint (same byte-order-fixed
+  // mixing as PatternDomain::fingerprint, so the value is host-independent).
+  std::uint64_t h = domain_->fingerprint();
+  const auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xffu;
+      h *= 0x00000100000001b3ull;
+    }
+  };
+  mix(gates_.size());
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    mix(gates_[g].packed());
+    mix(classes_[g]);
+  }
+  return h;
+}
+
 GateLibrary GateLibrary::standard(const mvl::NQubitDomain& nq) {
   GateLibrary out(nq.domain());
   out.owned_domain_ = nq.share();

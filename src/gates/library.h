@@ -77,6 +77,13 @@ class GateLibrary {
   [[nodiscard]] GateLibrary restricted_to(
       const std::vector<std::size_t>& indices) const;
 
+  /// Content fingerprint folding the domain fingerprint with every gate's
+  /// packed encoding and banned class, in library order. Witness back-walks
+  /// replay gate indices, so a persistent catalog is only valid against the
+  /// exact library it was enumerated with; the catalog header stores this
+  /// value to enforce that.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   GateLibrary() = default;
 

@@ -184,4 +184,22 @@ BannedClass PatternDomain::class_from_name(const std::string& name) const {
   throw qsyn::ParseError("malformed banned-class name: " + name);
 }
 
+std::uint64_t PatternDomain::fingerprint() const {
+  // FNV-1a over the domain's defining content. Byte order is fixed (values
+  // fed low byte first), so the fingerprint is host-endianness independent —
+  // it is stored verbatim in the on-disk catalog header.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xffu;
+      h *= 0x00000100000001b3ull;
+    }
+  };
+  mix(wires_);
+  mix(patterns_.size());
+  for (const Pattern& p : patterns_) mix(p.code());
+  for (const std::uint32_t mask : banned_masks_) mix(mask);
+  return h;
+}
+
 }  // namespace qsyn::mvl

@@ -97,6 +97,12 @@ class PatternDomain {
   /// Throws qsyn::ParseError on malformed names or wires beyond the domain.
   [[nodiscard]] BannedClass class_from_name(const std::string& name) const;
 
+  /// Content fingerprint (FNV-1a over wires, label order, and banned
+  /// masks): equal iff two domains present the same labels in the same
+  /// order with the same class structure. The persistent catalog stores it
+  /// to reject catalogs opened against a different domain.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   PatternDomain(std::size_t wires, std::vector<Pattern> patterns);
 

@@ -12,6 +12,10 @@ NQubitDomain::NQubitDomain(std::size_t wires)
              "NQubitDomain supports 2..8 wires");
 }
 
+std::uint64_t NQubitDomain::fingerprint() const {
+  return domain_->fingerprint();
+}
+
 std::size_t NQubitDomain::reduced_size(std::size_t wires) {
   QSYN_CHECK(wires >= 1 && wires <= 8, "reduced_size supports 1..8 wires");
   std::size_t pow4 = 1;

@@ -99,6 +99,11 @@ class NQubitDomain {
   /// 4^n - 3^n + 1 without building the domain (growth-curve arithmetic).
   [[nodiscard]] static std::size_t reduced_size(std::size_t wires);
 
+  /// The domain's content fingerprint (PatternDomain::fingerprint): the
+  /// value the persistent catalog header carries so a catalog saved over one
+  /// domain is rejected when opened against another.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   std::size_t wires_;
   std::shared_ptr<const PatternDomain> domain_;

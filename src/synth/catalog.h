@@ -1,0 +1,108 @@
+// qsyn/synth/catalog.h
+//
+// The on-disk persistent synthesis catalog: format v1.
+//
+// A catalog is one completed FMCF closure, serialized so later processes can
+// serve locate()/witness() queries without redoing the multi-second sweep —
+// percy's serialize-then-synthesize shape (write the expensive enumeration
+// once, replay it cheaply and concurrently; see SNIPPETS.md).
+//
+// Every multi-byte integer in the file is big-endian, matching the stores'
+// big-endian label rows, so the file is bit-identical across hosts and the
+// frontier sections can be memory-mapped directly as FlatPermStore backends.
+// Layout:
+//
+//   header (kHeaderBytes, fixed):
+//     [ 0]  magic      "QSYNCAT\0"
+//     [ 8]  u32 version            (kVersion)
+//     [12]  u32 endianness tag     (kEndianTag; guards against writers that
+//                                   dump raw host-order structs)
+//     [16]  u32 wires
+//     [20]  u32 width              (domain size; 38 for 3 wires)
+//     [24]  u32 binary_count       (2^wires)
+//     [28]  u32 label_bytes        (1 or 2; derived from width, stored for
+//                                   integrity checking)
+//     [32]  u32 gate_count
+//     [36]  u32 levels             (levels_done at save time)
+//     [40]  u32 flags              (kFlagTrackWitnesses | kFlagUseBannedSets)
+//     [44]  u64 domain fingerprint  (PatternDomain::fingerprint)
+//     [52]  u64 library fingerprint (GateLibrary::fingerprint)
+//     [60]  u64 g_count            (total G entries, identity included)
+//
+//   level stats: levels x kStatsEntryBytes
+//     u32 cost, u64 frontier, u64 g_new, u64 pre_g, u64 seen,
+//     u64 seconds (IEEE-754 double bits)
+//
+//   G index: g_count x kGEntryBytes, ascending by key
+//     32-byte GKey (four u64 words, each big-endian), u32 cost,
+//     u64 frontier row index (the witness metadata)
+//
+//   frontier sections: (levels + 1) sections, k = 0..levels
+//     u64 row_count, then row_count x (width * label_bytes) raw row bytes —
+//     exactly the FlatPermStore byte image, mapped read-only on reopen
+//
+// The file must end exactly after the last frontier section; trailing bytes
+// are rejected. Readers throw qsyn::CatalogError for any malformed or
+// incompatible input (truncation, bad magic/version/endian tag, fingerprint
+// mismatch, unsorted G index, out-of-range witness rows) — never UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qsyn::synth::catalog {
+
+inline constexpr std::uint8_t kMagic[8] = {'Q', 'S', 'Y', 'N',
+                                           'C', 'A', 'T', '\0'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+inline constexpr std::uint32_t kFlagTrackWitnesses = 1u << 0;
+inline constexpr std::uint32_t kFlagUseBannedSets = 1u << 1;
+
+// Header field offsets (bytes from the start of the file). Exposed so the
+// corruption regression tests can flip exactly the field they target.
+inline constexpr std::size_t kMagicOffset = 0;
+inline constexpr std::size_t kVersionOffset = 8;
+inline constexpr std::size_t kEndianOffset = 12;
+inline constexpr std::size_t kWiresOffset = 16;
+inline constexpr std::size_t kWidthOffset = 20;
+inline constexpr std::size_t kBinaryCountOffset = 24;
+inline constexpr std::size_t kLabelBytesOffset = 28;
+inline constexpr std::size_t kGateCountOffset = 32;
+inline constexpr std::size_t kLevelsOffset = 36;
+inline constexpr std::size_t kFlagsOffset = 40;
+inline constexpr std::size_t kDomainFingerprintOffset = 44;
+inline constexpr std::size_t kLibraryFingerprintOffset = 52;
+inline constexpr std::size_t kGCountOffset = 60;
+inline constexpr std::size_t kHeaderBytes = 68;
+
+inline constexpr std::size_t kStatsEntryBytes = 4 + 5 * 8;
+inline constexpr std::size_t kGEntryBytes = 32 + 4 + 8;
+
+// --- big-endian encode/decode helpers -------------------------------------
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) << 32 | get_u32(p + 4);
+}
+
+}  // namespace qsyn::synth::catalog

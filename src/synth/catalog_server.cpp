@@ -1,0 +1,170 @@
+#include "synth/catalog_server.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace qsyn::synth {
+
+namespace {
+
+// Cache key: one word per (level, row). Frontier rows are indices into
+// stores of at most a few hundred million rows, so 48 bits are ample.
+std::uint64_t witness_key(unsigned cost, std::size_t row) {
+  QSYN_CHECK(row < (std::uint64_t(1) << 48), "frontier row exceeds cache key");
+  return static_cast<std::uint64_t>(cost) << 48 | row;
+}
+
+}  // namespace
+
+CatalogServer::CatalogServer(FmcfEnumerator enumerator,
+                             CatalogServerOptions options)
+    : fmcf_(std::move(enumerator)),
+      options_(options),
+      wires_(fmcf_.library().domain().wires()) {}
+
+CatalogServer::~CatalogServer() = default;
+
+CatalogServer CatalogServer::open(const std::string& path,
+                                  const gates::GateLibrary& library,
+                                  CatalogServerOptions options) {
+  return CatalogServer(FmcfEnumerator::open_catalog(path, library), options);
+}
+
+std::optional<CatalogAnswer> CatalogServer::locate(
+    const perm::Permutation& target) const {
+  NotStripped stripped = strip_not_prefix(wires_, target);
+  const auto entry = fmcf_.find(stripped.core);
+  if (!entry.has_value()) return std::nullopt;
+  CatalogAnswer answer;
+  answer.cost = entry->cost;
+  answer.frontier_index = entry->frontier_index;
+  answer.not_prefix = std::move(stripped.not_prefix);
+  return answer;
+}
+
+gates::Cascade CatalogServer::cached_witness(unsigned cost,
+                                             std::size_t row) const {
+  if (options_.witness_cache_capacity == 0) {
+    return fmcf_.witness_for_row(cost, row);
+  }
+  const std::uint64_t key = witness_key(cost, row);
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = witness_cache_.find(key);
+    if (it != witness_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Back-walk outside any lock: reconstruction only reads immutable frontier
+  // tables. Concurrent misses on the same row redo the walk; the first
+  // emplace wins and the duplicates are dropped, which is cheaper than
+  // holding a lock across the walk.
+  gates::Cascade cascade = fmcf_.witness_for_row(cost, row);
+  std::unique_lock lock(cache_mutex_);
+  if (witness_cache_.size() < options_.witness_cache_capacity) {
+    witness_cache_.emplace(key, cascade);
+  }
+  return cascade;
+}
+
+std::optional<SynthesisResult> CatalogServer::synthesize(
+    const perm::Permutation& target) const {
+  const NotStripped stripped = strip_not_prefix(wires_, target);
+  const auto entry = fmcf_.find(stripped.core);
+  if (!entry.has_value()) return std::nullopt;
+
+  SynthesisResult result;
+  result.not_prefix = stripped.not_prefix;
+  result.core = entry->cost == 0
+                    ? gates::Cascade(wires_)
+                    : cached_witness(entry->cost, entry->frontier_index);
+  result.cost = entry->cost;
+  std::vector<gates::Gate> all = stripped.not_prefix;
+  all.insert(all.end(), result.core.sequence().begin(),
+             result.core.sequence().end());
+  result.circuit = gates::Cascade(wires_, std::move(all));
+  return result;
+}
+
+std::optional<WeightedCatalogAnswer> CatalogServer::locate_weighted(
+    const perm::Permutation& target, const gates::CostModel& model,
+    bool scan_deeper_levels) const {
+  const NotStripped stripped = strip_not_prefix(wires_, target);
+  const auto entry = fmcf_.find(stripped.core);
+  if (!entry.has_value()) return std::nullopt;
+
+  unsigned prefix_cost = 0;
+  for (const gates::Gate& g : stripped.not_prefix) prefix_cost += g.cost(model);
+
+  WeightedCatalogAnswer best;
+  bool have_best = false;
+  const auto consider = [&](const gates::Cascade& core) {
+    unsigned cost = prefix_cost;
+    for (const gates::Gate& g : core.sequence()) cost += g.cost(model);
+    if (have_best && cost >= best.model_cost) return;
+    have_best = true;
+    best.model_cost = cost;
+    best.gate_count = core.size();
+    std::vector<gates::Gate> all = stripped.not_prefix;
+    all.insert(all.end(), core.sequence().begin(), core.sequence().end());
+    best.circuit = gates::Cascade(wires_, std::move(all));
+  };
+
+  if (entry->cost == 0) {
+    consider(gates::Cascade(wires_));
+    return best;
+  }
+  // Every stored realization of the core is a candidate: under non-uniform
+  // costs the cheapest circuit need not be the shortest one, so the scan can
+  // optionally continue past the minimal level into the deeper frontiers.
+  const unsigned last =
+      scan_deeper_levels ? fmcf_.levels_done() : entry->cost;
+  for (unsigned k = entry->cost; k <= last; ++k) {
+    for (const std::size_t row : fmcf_.implementations(stripped.core, k)) {
+      consider(cached_witness(k, row));
+    }
+  }
+  QSYN_CHECK(have_best, "a located core must have at least one witness row");
+  return best;
+}
+
+template <typename Answer, typename Fn>
+std::vector<Answer> CatalogServer::run_batch(
+    const std::vector<perm::Permutation>& targets, const Fn& fn) const {
+  std::vector<Answer> answers(targets.size());
+  std::lock_guard guard(batch_mutex_);  // ThreadPool::run is not reentrant
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  pool_->run(targets.size(), [&](std::size_t i, std::size_t) {
+    answers[i] = fn(targets[i]);
+  });
+  return answers;
+}
+
+std::vector<std::optional<CatalogAnswer>> CatalogServer::locate_batch(
+    const std::vector<perm::Permutation>& targets) const {
+  return run_batch<std::optional<CatalogAnswer>>(
+      targets, [this](const perm::Permutation& t) { return locate(t); });
+}
+
+std::vector<std::optional<SynthesisResult>> CatalogServer::synthesize_batch(
+    const std::vector<perm::Permutation>& targets) const {
+  return run_batch<std::optional<SynthesisResult>>(
+      targets, [this](const perm::Permutation& t) { return synthesize(t); });
+}
+
+CatalogServer::CacheStats CatalogServer::cache_stats() const {
+  CacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  std::shared_lock lock(cache_mutex_);
+  stats.entries = witness_cache_.size();
+  return stats;
+}
+
+}  // namespace qsyn::synth

@@ -1,0 +1,143 @@
+// qsyn/synth/catalog_server.h
+//
+// Concurrent serving front end over one FMCF closure — typically a catalog
+// reopened read-only from disk (synth/catalog.h), where every G-set table is
+// an mmap'd window and queries touch pages on demand.
+//
+// The split from McExpressor: the expressor *builds* (it deepens the closure
+// on a miss), the server *answers*. A server never mutates its enumerator, so
+// single locate()/synthesize() calls are lock-free reads of immutable tables
+// and may run from any number of threads; the batch entry points fan a whole
+// query vector out over the server's own worker pool. The only shared
+// mutable state is the witness cache (reconstructed cascades are the one
+// non-trivial per-query cost), a bounded map behind a reader/writer lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/gate.h"
+#include "perm/permutation.h"
+#include "synth/fmcf.h"
+#include "synth/mce.h"
+
+namespace qsyn {
+class ThreadPool;
+}
+
+namespace qsyn::synth {
+
+struct CatalogServerOptions {
+  /// Worker threads for the batch entry points (0 = QSYN_THREADS /
+  /// hardware_concurrency, like FmcfOptions::threads). Single queries never
+  /// touch the pool.
+  std::size_t threads = 0;
+
+  /// Maximum cached witness cascades (0 disables caching). The cache stops
+  /// admitting new entries at capacity — catalog query mixes are heavily
+  /// skewed toward a few popular targets, so keep-first is a good fit and
+  /// needs no eviction bookkeeping on the hot path.
+  std::size_t witness_cache_capacity = std::size_t(1) << 16;
+};
+
+/// A locate() answer: where the target's core lives in the catalog.
+struct CatalogAnswer {
+  unsigned cost = 0;               // minimal library-gate count of the core
+  std::size_t frontier_index = 0;  // witness row in B[cost]
+  std::vector<gates::Gate> not_prefix;  // Theorem 2's cost-0 NOT layer
+};
+
+/// A weighted locate() answer: the cheapest stored realization under an
+/// arbitrary cost model.
+struct WeightedCatalogAnswer {
+  gates::Cascade circuit;     // NOT prefix + core cascade
+  unsigned model_cost = 0;    // total cost under the query's model
+  std::size_t gate_count = 0;  // library gates in the core
+
+  WeightedCatalogAnswer() : circuit(2) {}
+};
+
+/// Read-only concurrent query server over a (usually catalog-backed) FMCF
+/// closure.
+class CatalogServer {
+ public:
+  /// Takes ownership of the enumerator. Works for both catalog-backed and
+  /// freshly computed closures; either way the closure is served as-is and
+  /// never deepened.
+  explicit CatalogServer(FmcfEnumerator enumerator,
+                         CatalogServerOptions options = {});
+  ~CatalogServer();
+
+  /// Convenience: FmcfEnumerator::open_catalog + construction.
+  [[nodiscard]] static CatalogServer open(const std::string& path,
+                                          const gates::GateLibrary& library,
+                                          CatalogServerOptions options = {});
+
+  [[nodiscard]] const FmcfEnumerator& enumerator() const { return fmcf_; }
+
+  /// Minimal cost + witness location of `target` (a permutation of {1..2^n}
+  /// in binary-value order), or nullopt when the target's core is beyond the
+  /// stored levels. Lock-free; safe from any thread.
+  [[nodiscard]] std::optional<CatalogAnswer> locate(
+      const perm::Permutation& target) const;
+
+  /// Full minimal realization (witness back-walk, cached). Thread-safe.
+  [[nodiscard]] std::optional<SynthesisResult> synthesize(
+      const perm::Permutation& target) const;
+
+  /// The cheapest stored realization of `target` under `model`, searching
+  /// every implementation row of the core's minimal level — and, when
+  /// `scan_deeper_levels` is set, every deeper stored level too (a deeper
+  /// cascade can be cheaper under non-uniform costs, e.g. more CNOTs and
+  /// fewer controlled-V). nullopt when the core is beyond the stored levels.
+  [[nodiscard]] std::optional<WeightedCatalogAnswer> locate_weighted(
+      const perm::Permutation& target, const gates::CostModel& model,
+      bool scan_deeper_levels = false) const;
+
+  /// Batched variants: one answer per target, in order, fanned out over the
+  /// server's worker pool. Batches from different threads serialize on the
+  /// pool (single-query calls keep running concurrently alongside).
+  [[nodiscard]] std::vector<std::optional<CatalogAnswer>> locate_batch(
+      const std::vector<perm::Permutation>& targets) const;
+  [[nodiscard]] std::vector<std::optional<SynthesisResult>> synthesize_batch(
+      const std::vector<perm::Permutation>& targets) const;
+
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+ private:
+  [[nodiscard]] gates::Cascade cached_witness(unsigned cost,
+                                              std::size_t row) const;
+  template <typename Answer, typename Fn>
+  [[nodiscard]] std::vector<Answer> run_batch(
+      const std::vector<perm::Permutation>& targets, const Fn& fn) const;
+
+  FmcfEnumerator fmcf_;
+  CatalogServerOptions options_;
+  std::size_t wires_;
+
+  // The server owns its pool: the enumerator's lazily created sweep pool is
+  // never touched (ThreadPool::run is not reentrant, and a catalog-backed
+  // enumerator keeps no pool at all, so its witness back-walks stay serial
+  // and safely concurrent). Created lazily by the first batch call.
+  mutable std::mutex batch_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<std::uint64_t, gates::Cascade> witness_cache_;
+  mutable std::atomic<std::size_t> cache_hits_{0};
+  mutable std::atomic<std::size_t> cache_misses_{0};
+};
+
+}  // namespace qsyn::synth

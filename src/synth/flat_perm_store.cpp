@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "common/error.h"
 
@@ -11,17 +12,107 @@ namespace qsyn::synth {
 FlatPermStore::FlatPermStore(std::size_t width)
     : width_(width),
       label_bytes_(width <= 256 ? 1 : 2),
-      stride_(width * label_bytes_) {
+      stride_(width * label_bytes_),
+      storage_(std::make_shared<VectorRowStorage>()) {
   QSYN_CHECK(width >= 1 && width <= 65536, "unsupported permutation width");
+  vec_ = storage_->mutable_bytes();
+  sync_view();
+}
+
+FlatPermStore::FlatPermStore(std::size_t width,
+                             std::shared_ptr<RowStorage> storage)
+    : width_(width),
+      label_bytes_(width <= 256 ? 1 : 2),
+      stride_(width * label_bytes_),
+      storage_(std::move(storage)) {
+  QSYN_CHECK(width >= 1 && width <= 65536, "unsupported permutation width");
+  QSYN_CHECK(storage_ != nullptr, "FlatPermStore requires a storage backend");
+  QSYN_CHECK(storage_->size_bytes() % stride_ == 0,
+             "storage backend holds a fractional row");
+  vec_ = storage_->mutable_bytes();
+  sync_view();
+}
+
+FlatPermStore::FlatPermStore(const FlatPermStore& other)
+    : width_(other.width_),
+      label_bytes_(other.label_bytes_),
+      stride_(other.stride_),
+      storage_(std::make_shared<VectorRowStorage>(std::vector<std::uint8_t>(
+          other.view_data_, other.view_data_ + other.view_bytes_))) {
+  vec_ = storage_->mutable_bytes();
+  sync_view();
+}
+
+FlatPermStore& FlatPermStore::operator=(const FlatPermStore& other) {
+  if (this == &other) return *this;
+  width_ = other.width_;
+  label_bytes_ = other.label_bytes_;
+  stride_ = other.stride_;
+  storage_ = std::make_shared<VectorRowStorage>(std::vector<std::uint8_t>(
+      other.view_data_, other.view_data_ + other.view_bytes_));
+  vec_ = storage_->mutable_bytes();
+  sync_view();
+  return *this;
+}
+
+FlatPermStore::FlatPermStore(FlatPermStore&& other) noexcept
+    : width_(other.width_),
+      label_bytes_(other.label_bytes_),
+      stride_(other.stride_),
+      storage_(std::move(other.storage_)),
+      vec_(other.vec_),
+      view_data_(other.view_data_),
+      view_bytes_(other.view_bytes_) {
+  other.vec_ = nullptr;
+  other.view_data_ = nullptr;
+  other.view_bytes_ = 0;
+}
+
+FlatPermStore& FlatPermStore::operator=(FlatPermStore&& other) noexcept {
+  if (this == &other) return *this;
+  width_ = other.width_;
+  label_bytes_ = other.label_bytes_;
+  stride_ = other.stride_;
+  storage_ = std::move(other.storage_);
+  vec_ = other.vec_;
+  view_data_ = other.view_data_;
+  view_bytes_ = other.view_bytes_;
+  other.vec_ = nullptr;
+  other.view_data_ = nullptr;
+  other.view_bytes_ = 0;
+  return *this;
+}
+
+FlatPermStore::~FlatPermStore() = default;
+
+void FlatPermStore::sync_view() {
+  if (vec_ != nullptr) {
+    view_data_ = vec_->data();
+    view_bytes_ = vec_->size();
+  } else if (storage_ != nullptr) {
+    view_data_ = storage_->data();
+    view_bytes_ = storage_->size_bytes();
+  } else {
+    view_data_ = nullptr;
+    view_bytes_ = 0;
+  }
+}
+
+std::vector<std::uint8_t>& FlatPermStore::writable() {
+  QSYN_CHECK(vec_ != nullptr,
+             "FlatPermStore is read-only (catalog-backed) or moved-from");
+  return *vec_;
 }
 
 const std::uint8_t* FlatPermStore::row(std::size_t i) const {
   QSYN_CHECK(i < size(), "FlatPermStore row out of range");
-  return bytes_.data() + i * stride_;
+  return view_data_ + i * stride_;
 }
 
 void FlatPermStore::push_back(const std::uint8_t* row_bytes) {
-  bytes_.insert(bytes_.end(), row_bytes, row_bytes + stride_);
+  std::vector<std::uint8_t>& bytes = writable();
+  bytes.insert(bytes.end(), row_bytes, row_bytes + stride_);
+  sync_view();
 }
 
 void FlatPermStore::push_back(const perm::Permutation& p) {
@@ -50,12 +141,13 @@ perm::Permutation FlatPermStore::permutation(std::size_t i) const {
 }
 
 void FlatPermStore::sort_unique() {
+  std::vector<std::uint8_t>& bytes = writable();
   const std::size_t n = size();
   if (n <= 1) return;
   // Indirect sort: order row indices, then gather into a fresh buffer.
   std::vector<std::uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
-  const std::uint8_t* base = bytes_.data();
+  const std::uint8_t* base = view_data_;
   const std::size_t w = stride_;
   std::sort(order.begin(), order.end(),
             [base, w](std::uint32_t a, std::uint32_t b) {
@@ -63,7 +155,7 @@ void FlatPermStore::sort_unique() {
                                  base + std::size_t(b) * w, w) < 0;
             });
   std::vector<std::uint8_t> sorted;
-  sorted.reserve(bytes_.size());
+  sorted.reserve(bytes.size());
   const std::uint8_t* prev = nullptr;
   for (const std::uint32_t idx : order) {
     const std::uint8_t* r = base + std::size_t(idx) * w;
@@ -71,14 +163,16 @@ void FlatPermStore::sort_unique() {
     sorted.insert(sorted.end(), r, r + w);
     prev = sorted.data() + sorted.size() - w;
   }
-  bytes_ = std::move(sorted);
+  bytes = std::move(sorted);
+  sync_view();
 }
 
 void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
+  std::vector<std::uint8_t>& bytes = writable();
   if (empty() || other.empty()) return;
   std::vector<std::uint8_t> kept;
-  kept.reserve(bytes_.size());
+  kept.reserve(bytes.size());
   const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -86,7 +180,7 @@ void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
   const std::size_t m = other.size();
   while (i < n) {
     if (j == m) {
-      kept.insert(kept.end(), bytes_.begin() + i * w, bytes_.end());
+      kept.insert(kept.end(), view_data_ + i * w, view_data_ + view_bytes_);
       break;
     }
     const int cmp = std::memcmp(row(i), other.row(j), w);
@@ -99,14 +193,16 @@ void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
       ++i;  // drop: present in other
     }
   }
-  bytes_ = std::move(kept);
+  bytes = std::move(kept);
+  sync_view();
 }
 
 void FlatPermStore::merge_sorted(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
+  std::vector<std::uint8_t>& bytes = writable();
   if (other.empty()) return;
   std::vector<std::uint8_t> merged;
-  merged.reserve(bytes_.size() + other.bytes_.size());
+  merged.reserve(bytes.size() + other.view_bytes_);
   const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -123,12 +219,15 @@ void FlatPermStore::merge_sorted(const FlatPermStore& other) {
       ++j;
     }
   }
-  if (i < n) merged.insert(merged.end(), bytes_.begin() + i * w, bytes_.end());
-  if (j < m) {
-    merged.insert(merged.end(), other.bytes_.begin() + j * w,
-                  other.bytes_.end());
+  if (i < n) {
+    merged.insert(merged.end(), view_data_ + i * w, view_data_ + view_bytes_);
   }
-  bytes_ = std::move(merged);
+  if (j < m) {
+    merged.insert(merged.end(), other.view_data_ + j * w,
+                  other.view_data_ + other.view_bytes_);
+  }
+  bytes = std::move(merged);
+  sync_view();
 }
 
 bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
@@ -150,12 +249,34 @@ bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
 
 void FlatPermStore::append(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
-  bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
+  std::vector<std::uint8_t>& bytes = writable();
+  bytes.insert(bytes.end(), other.view_data_,
+               other.view_data_ + other.view_bytes_);
+  sync_view();
+}
+
+void FlatPermStore::clear_keep_capacity() {
+  if (vec_ == nullptr) {
+    clear();
+    return;
+  }
+  vec_->clear();
+  sync_view();
 }
 
 void FlatPermStore::clear() {
-  bytes_.clear();
-  bytes_.shrink_to_fit();
+  storage_ = std::make_shared<VectorRowStorage>();
+  vec_ = storage_->mutable_bytes();
+  sync_view();
+}
+
+std::size_t FlatPermStore::memory_bytes() const {
+  return storage_ != nullptr ? storage_->memory_bytes() : 0;
+}
+
+void FlatPermStore::reserve_rows(std::size_t rows) {
+  writable().reserve(rows * stride_);
+  sync_view();
 }
 
 }  // namespace qsyn::synth

@@ -16,14 +16,23 @@
 // *big-endian* bytes per label beyond that (the 5-wire reduced domain has
 // 782 labels). Big-endian packing keeps the raw-byte memcmp order of rows
 // identical to the label-lexicographic order, so the entire set algebra —
-// and the ShardedPermStore partition built on top — is label-width agnostic.
+// and the ShardedPermStore partition built on top — is label-width agnostic,
+// and the raw bytes are a host-endianness-independent serialization format.
+//
+// Rows live behind a RowStorage backend (synth/row_storage.h). The default
+// VectorRowStorage reproduces the historical in-memory behavior byte for
+// byte; a store wrapped around a read-only backend (e.g. the catalog's
+// MmapRowStorage window) serves every read operation zero-copy and throws
+// qsyn::LogicError from every mutation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "perm/permutation.h"
+#include "synth/row_storage.h"
 
 namespace qsyn::synth {
 
@@ -31,10 +40,33 @@ namespace qsyn::synth {
 /// image table (0-based). Rows compare lexicographically by label.
 class FlatPermStore {
  public:
-  /// `width` = permutation degree (labels per row), at most 65536.
+  /// `width` = permutation degree (labels per row), at most 65536. Backed by
+  /// a fresh writable VectorRowStorage.
   explicit FlatPermStore(std::size_t width);
 
+  /// Wraps an existing backend (shared: several stores may view disjoint
+  /// windows of one mapped catalog). The backend must hold a whole number of
+  /// rows. A backend without mutable_bytes() yields a read-only store.
+  FlatPermStore(std::size_t width, std::shared_ptr<RowStorage> storage);
+
+  /// Copies deep-copy the rows into a fresh writable in-memory backend (a
+  /// copy of a read-only store is therefore writable).
+  FlatPermStore(const FlatPermStore& other);
+  FlatPermStore& operator=(const FlatPermStore& other);
+  FlatPermStore(FlatPermStore&& other) noexcept;
+  FlatPermStore& operator=(FlatPermStore&& other) noexcept;
+  ~FlatPermStore();
+
   [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// True when the backend rejects mutation (catalog-backed stores). Every
+  /// mutating member below throws qsyn::LogicError on such a store.
+  [[nodiscard]] bool read_only() const { return vec_ == nullptr; }
+
+  /// The storage backend (never null for a live store).
+  [[nodiscard]] const std::shared_ptr<RowStorage>& storage() const {
+    return storage_;
+  }
 
   /// Bytes per label: 1 while labels fit a byte, else 2 (big-endian).
   [[nodiscard]] std::size_t label_bytes() const { return label_bytes_; }
@@ -42,8 +74,13 @@ class FlatPermStore {
   /// Bytes per row = width() * label_bytes().
   [[nodiscard]] std::size_t row_stride() const { return stride_; }
 
-  [[nodiscard]] std::size_t size() const { return bytes_.size() / stride_; }
-  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return view_bytes_ / stride_; }
+  [[nodiscard]] bool empty() const { return view_bytes_ == 0; }
+
+  /// The contiguous row bytes (the store's serialization: rows in order,
+  /// labels big-endian). Valid until the next mutation.
+  [[nodiscard]] const std::uint8_t* data() const { return view_data_; }
+  [[nodiscard]] std::size_t size_bytes() const { return view_bytes_; }
 
   /// Pointer to row `i` (row_stride() bytes).
   [[nodiscard]] const std::uint8_t* row(std::size_t i) const;
@@ -106,21 +143,30 @@ class FlatPermStore {
   void append(const FlatPermStore& other);
 
   /// Removes all rows but keeps the allocation (hot-loop buffer reuse).
-  void clear_keep_capacity() { bytes_.clear(); }
+  /// On a read-only or moved-from store this degrades to clear().
+  void clear_keep_capacity();
 
-  /// Releases all memory.
+  /// Releases all memory by resetting to a fresh empty writable backend
+  /// (valid on any store, including read-only and moved-from ones).
   void clear();
 
-  /// Bytes of heap memory currently held.
-  [[nodiscard]] std::size_t memory_bytes() const { return bytes_.capacity(); }
+  /// Bytes of heap memory currently held (0 for mmap-backed stores: their
+  /// pages are kernel file cache, not program heap).
+  [[nodiscard]] std::size_t memory_bytes() const;
 
-  void reserve_rows(std::size_t rows) { bytes_.reserve(rows * stride_); }
+  void reserve_rows(std::size_t rows);
 
  private:
+  void sync_view();
+  [[nodiscard]] std::vector<std::uint8_t>& writable();
+
   std::size_t width_;
   std::size_t label_bytes_;
   std::size_t stride_;
-  std::vector<std::uint8_t> bytes_;
+  std::shared_ptr<RowStorage> storage_;
+  std::vector<std::uint8_t>* vec_ = nullptr;  // cached writable vector
+  const std::uint8_t* view_data_ = nullptr;   // cached (data, size) view
+  std::size_t view_bytes_ = 0;
 };
 
 }  // namespace qsyn::synth

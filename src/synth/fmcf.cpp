@@ -41,36 +41,7 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
       shards_(resolve_shards(options.shards, threads_)),
       backwalk_pool_busy_(std::make_unique<std::atomic<bool>>(false)),
       seen_(library.domain().size(), shards_) {
-  const mvl::PatternDomain& domain = library.domain();
-  QSYN_CHECK(domain.wires() <= 5,
-             "FMCF G-set keys support up to 5 wires (32 binary labels)");
-  // Sanity: the first 2^n labels must be the binary patterns (reduced-domain
-  // ordering), otherwise S != {1..2^n} and the restriction logic is wrong.
-  for (std::uint32_t label = 1; label <= binary_count_; ++label) {
-    QSYN_CHECK(domain.pattern(label).is_binary(),
-               "FMCF requires a domain with binary labels first");
-  }
-
-  gate_tables_.reserve(library.size());
-  gate_inv_tables_.reserve(library.size());
-  gate_class_bits_.reserve(library.size());
-  for (std::size_t g = 0; g < library.size(); ++g) {
-    const perm::Permutation& p = library.permutation(g);
-    std::vector<std::uint16_t> table(width_);
-    std::vector<std::uint16_t> inv(width_);
-    for (std::size_t s = 0; s < width_; ++s) {
-      const std::uint32_t image = p.apply(static_cast<std::uint32_t>(s + 1));
-      table[s] = static_cast<std::uint16_t>(image - 1);
-      inv[image - 1] = static_cast<std::uint16_t>(s);
-    }
-    gate_tables_.push_back(std::move(table));
-    gate_inv_tables_.push_back(std::move(inv));
-    gate_class_bits_.push_back(1u << library.banned_class_of(g));
-  }
-  label_banned_.resize(width_);
-  for (std::uint32_t label = 1; label <= width_; ++label) {
-    label_banned_[label - 1] = domain.banned_mask(label);
-  }
+  init_gate_tables();
 
   // Level 0: the identity.
   const perm::Permutation id =
@@ -82,6 +53,57 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
   const GKey id_key = g_key_of_row(frontiers_.back().row(0));
   g_seen_keys_.push_back(id_key);
   g_index_.emplace(id_key, GEntry{0, 0});
+}
+
+FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
+                               FmcfOptions options, CatalogTag)
+    : library_(&library),
+      options_(options),
+      width_(library.domain().size()),
+      binary_count_(library.domain().binary_count()),
+      label_bytes_(width_ <= 256 ? 1 : 2),
+      stride_(width_ * label_bytes_),
+      threads_(resolve_threads(options.threads)),
+      shards_(resolve_shards(options.shards, threads_)),
+      backwalk_pool_busy_(std::make_unique<std::atomic<bool>>(false)),
+      // Catalog-backed enumerators never advance(), so the seen-set stays
+      // empty; one shard keeps it inert.
+      seen_(library.domain().size(), 1),
+      read_only_(true) {
+  init_gate_tables();
+}
+
+void FmcfEnumerator::init_gate_tables() {
+  const mvl::PatternDomain& domain = library_->domain();
+  QSYN_CHECK(domain.wires() <= 5,
+             "FMCF G-set keys support up to 5 wires (32 binary labels)");
+  // Sanity: the first 2^n labels must be the binary patterns (reduced-domain
+  // ordering), otherwise S != {1..2^n} and the restriction logic is wrong.
+  for (std::uint32_t label = 1; label <= binary_count_; ++label) {
+    QSYN_CHECK(domain.pattern(label).is_binary(),
+               "FMCF requires a domain with binary labels first");
+  }
+
+  gate_tables_.reserve(library_->size());
+  gate_inv_tables_.reserve(library_->size());
+  gate_class_bits_.reserve(library_->size());
+  for (std::size_t g = 0; g < library_->size(); ++g) {
+    const perm::Permutation& p = library_->permutation(g);
+    std::vector<std::uint16_t> table(width_);
+    std::vector<std::uint16_t> inv(width_);
+    for (std::size_t s = 0; s < width_; ++s) {
+      const std::uint32_t image = p.apply(static_cast<std::uint32_t>(s + 1));
+      table[s] = static_cast<std::uint16_t>(image - 1);
+      inv[image - 1] = static_cast<std::uint16_t>(s);
+    }
+    gate_tables_.push_back(std::move(table));
+    gate_inv_tables_.push_back(std::move(inv));
+    gate_class_bits_.push_back(1u << library_->banned_class_of(g));
+  }
+  label_banned_.resize(width_);
+  for (std::uint32_t label = 1; label <= width_; ++label) {
+    label_banned_[label - 1] = domain.banned_mask(label);
+  }
 }
 
 FmcfEnumerator::~FmcfEnumerator() = default;
@@ -130,6 +152,9 @@ ThreadPool& FmcfEnumerator::worker_pool() {
 }
 
 const FmcfLevelStats& FmcfEnumerator::advance() {
+  QSYN_CHECK(!read_only_,
+             "catalog-backed FmcfEnumerator is read-only: reopened catalogs "
+             "serve their saved levels, they never re-enumerate");
   if (saturated()) return stats_.back();
   (void)worker_pool();
   Stopwatch timer;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -122,7 +123,8 @@ class FmcfEnumerator {
 
   /// Computes the next level (k = levels_done()+1) and returns its stats.
   /// Once the closure is saturated() this is a no-op returning the last
-  /// level's stats.
+  /// level's stats. Throws qsyn::LogicError on a read_only() (catalog-
+  /// backed) enumerator: reopened catalogs serve, they never re-enumerate.
   const FmcfLevelStats& advance();
 
   /// Runs advance() until `max_cost` levels are done or the closure
@@ -134,6 +136,31 @@ class FmcfEnumerator {
   [[nodiscard]] bool saturated() const {
     return !stats_.empty() && stats_.back().frontier == 0;
   }
+
+  // --- persistent catalog ------------------------------------------------
+
+  /// Serializes the computed closure to a versioned on-disk catalog (see
+  /// synth/catalog.h for the format): header with magic/version/endianness
+  /// tag and domain+library fingerprints, per-level stats, the sorted G-set
+  /// index with witness metadata, and every frontier's raw row table.
+  /// Throws qsyn::IoError when the file cannot be written.
+  void save_catalog(const std::string& path) const;
+
+  /// Reopens a catalog read-only: the G index is rebuilt eagerly (it is
+  /// small), while the frontier row tables are memory-mapped zero-copy, so
+  /// opening costs milliseconds regardless of catalog size and no advance()
+  /// work is ever redone. `library` must be the library the catalog was
+  /// saved from (enforced via the stored fingerprints). Witness tracking and
+  /// banned-set flags come from the file; `options` only contributes
+  /// threads/shards. Throws qsyn::CatalogError on malformed or incompatible
+  /// files and qsyn::IoError on filesystem failures.
+  [[nodiscard]] static FmcfEnumerator open_catalog(
+      const std::string& path, const gates::GateLibrary& library,
+      FmcfOptions options = {});
+
+  /// True for catalog-backed enumerators: every query path (find, g_set,
+  /// witness, implementations) works, but advance() throws.
+  [[nodiscard]] bool read_only() const { return read_only_; }
 
   /// Resolved worker-thread count used by the level sweep.
   [[nodiscard]] std::size_t threads() const { return threads_; }
@@ -181,7 +208,12 @@ class FmcfEnumerator {
                                                std::size_t row) const;
 
   /// Total number of distinct cascade-permutations reached (|A[k]|).
-  [[nodiscard]] std::size_t seen_count() const { return seen_.size(); }
+  /// Catalog-backed enumerators do not reload the seen-set (advance() is
+  /// unavailable, so it would be dead weight) and answer from the stats.
+  [[nodiscard]] std::size_t seen_count() const {
+    if (read_only_) return stats_.empty() ? 1 : stats_.back().seen;
+    return seen_.size();
+  }
 
   /// Approximate heap usage of the stored sets.
   [[nodiscard]] std::size_t memory_bytes() const;
@@ -189,6 +221,13 @@ class FmcfEnumerator {
   [[nodiscard]] const gates::GateLibrary& library() const { return *library_; }
 
  private:
+  /// Tag selecting the catalog-reopen construction path: gate tables are
+  /// built, but no level-0 seeding happens (state comes from the file).
+  struct CatalogTag {};
+  FmcfEnumerator(const gates::GateLibrary& library, FmcfOptions options,
+                 CatalogTag tag);
+  void init_gate_tables();
+
   [[nodiscard]] std::uint32_t banned_mask_of_row(const std::uint8_t* row) const;
   [[nodiscard]] GKey g_key_of_row(const std::uint8_t* row) const;
   [[nodiscard]] bool row_is_binary_preserving(const std::uint8_t* row) const;
@@ -221,6 +260,8 @@ class FmcfEnumerator {
 
   std::vector<GKey> g_seen_keys_;                          // sorted
   std::unordered_map<GKey, GEntry, GKeyHash> g_index_;     // key -> entry
+
+  bool read_only_ = false;  // catalog-backed: queries only, advance() throws
 };
 
 }  // namespace qsyn::synth

@@ -17,15 +17,8 @@ FmcfOptions with_witnesses(FmcfOptions options) {
 
 }  // namespace
 
-McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost,
-                         FmcfOptions fmcf_options)
-    : library_(&library),
-      max_cost_(max_cost),
-      fmcf_(library, with_witnesses(fmcf_options)) {}
-
-McExpressor::Stripped McExpressor::strip_not_coset(
-    const perm::Permutation& target) const {
-  const std::size_t wires = library_->domain().wires();
+NotStripped strip_not_prefix(std::size_t wires,
+                             const perm::Permutation& target) {
   const std::uint32_t binary_count = 1u << wires;
   QSYN_CHECK(target.degree() <= binary_count,
              "target permutation degree exceeds 2^wires");
@@ -35,7 +28,7 @@ McExpressor::Stripped McExpressor::strip_not_coset(
   // d[0] (an involution), h(1) = g(a(1)) = 1 forces a(1) = g^{-1}(1), i.e.
   // the NOT mask is the bit pattern of label g^{-1}(1).
   const std::uint32_t mask = g.inverse().apply(1) - 1;
-  Stripped out;
+  NotStripped out;
   for (std::size_t w = 0; w < wires; ++w) {
     if ((mask >> (wires - 1 - w) & 1u) != 0) {
       out.not_prefix.push_back(gates::Gate::not_gate(w));
@@ -47,26 +40,43 @@ McExpressor::Stripped McExpressor::strip_not_coset(
     images[l] = (l ^ mask) + 1;
   }
   const perm::Permutation a = perm::Permutation::from_images(std::move(images));
-  out.core_target = a * g;  // a^{-1} * g with a an involution
-  QSYN_CHECK(out.core_target.apply(1) == 1,
+  out.core = a * g;  // a^{-1} * g with a an involution
+  QSYN_CHECK(out.core.apply(1) == 1,
              "NOT-coset stripping must fix the all-zero pattern");
   return out;
+}
+
+McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost,
+                         FmcfOptions fmcf_options)
+    : library_(&library),
+      max_cost_(max_cost),
+      fmcf_(library, with_witnesses(fmcf_options)) {}
+
+McExpressor::McExpressor(FmcfEnumerator enumerator, unsigned max_cost)
+    : library_(&enumerator.library()),
+      max_cost_(max_cost != 0 ? max_cost : enumerator.levels_done()),
+      fmcf_(std::move(enumerator)) {}
+
+NotStripped McExpressor::strip_not_coset(
+    const perm::Permutation& target) const {
+  return strip_not_prefix(library_->domain().wires(), target);
 }
 
 std::optional<GEntry> McExpressor::locate(const perm::Permutation& core) {
   auto entry = fmcf_.find(core);
   // Stop at saturation: once the closure exhausts the reachable group below
   // max_cost, the target is simply not realizable over this library
-  // (advance() would otherwise no-op forever).
+  // (advance() would otherwise no-op forever). Catalog-backed closures are
+  // frozen at their saved depth: a miss there is a miss, never a deepening.
   while (!entry.has_value() && fmcf_.levels_done() < max_cost_ &&
-         !fmcf_.saturated()) {
+         !fmcf_.saturated() && !fmcf_.read_only()) {
     fmcf_.advance();
     entry = fmcf_.find(core);
   }
   return entry;
 }
 
-SynthesisResult McExpressor::assemble(const Stripped& stripped,
+SynthesisResult McExpressor::assemble(const NotStripped& stripped,
                                       const gates::Cascade& core) const {
   SynthesisResult result;
   result.not_prefix = stripped.not_prefix;
@@ -80,28 +90,28 @@ SynthesisResult McExpressor::assemble(const Stripped& stripped,
 
 std::optional<SynthesisResult> McExpressor::synthesize(
     const perm::Permutation& target) {
-  const Stripped stripped = strip_not_coset(target);
-  if (stripped.core_target.is_identity()) {
+  const NotStripped stripped = strip_not_coset(target);
+  if (stripped.core.is_identity()) {
     return assemble(stripped,
                     gates::Cascade(library_->domain().wires()));
   }
-  const auto entry = locate(stripped.core_target);
+  const auto entry = locate(stripped.core);
   if (!entry.has_value()) return std::nullopt;
   return assemble(stripped, fmcf_.witness(*entry));
 }
 
 std::vector<SynthesisResult> McExpressor::implementations(
     const perm::Permutation& target) {
-  const Stripped stripped = strip_not_coset(target);
+  const NotStripped stripped = strip_not_coset(target);
   std::vector<SynthesisResult> out;
-  if (stripped.core_target.is_identity()) {
+  if (stripped.core.is_identity()) {
     out.push_back(assemble(stripped, gates::Cascade(library_->domain().wires())));
     return out;
   }
-  const auto entry = locate(stripped.core_target);
+  const auto entry = locate(stripped.core);
   if (!entry.has_value()) return out;
   for (const std::size_t row :
-       fmcf_.implementations(stripped.core_target, entry->cost)) {
+       fmcf_.implementations(stripped.core, entry->cost)) {
     out.push_back(assemble(stripped, fmcf_.witness_for_row(entry->cost, row)));
   }
   return out;
@@ -109,9 +119,9 @@ std::vector<SynthesisResult> McExpressor::implementations(
 
 std::optional<unsigned> McExpressor::minimal_cost(
     const perm::Permutation& target) {
-  const Stripped stripped = strip_not_coset(target);
-  if (stripped.core_target.is_identity()) return 0;
-  const auto entry = locate(stripped.core_target);
+  const NotStripped stripped = strip_not_coset(target);
+  if (stripped.core.is_identity()) return 0;
+  const auto entry = locate(stripped.core);
   if (!entry.has_value()) return std::nullopt;
   return entry->cost;
 }
@@ -120,7 +130,7 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
                                          unsigned cost) {
   QSYN_CHECK(cost >= 1 && cost <= max_cost_,
              "count_sequences supports cost 1..max_cost()");
-  const Stripped stripped = strip_not_coset(target);
+  const NotStripped stripped = strip_not_coset(target);
   const mvl::PatternDomain& domain = library_->domain();
   const std::size_t width = domain.size();
   const std::size_t binary_count = domain.binary_count();
@@ -142,7 +152,7 @@ std::size_t McExpressor::count_sequences(const perm::Permutation& target,
   auto matches_target = [&](const std::uint16_t* row) {
     for (std::size_t s = 0; s < binary_count; ++s) {
       if (static_cast<std::uint32_t>(row[s]) + 1 !=
-          stripped.core_target.apply(static_cast<std::uint32_t>(s + 1))) {
+          stripped.core.apply(static_cast<std::uint32_t>(s + 1))) {
         return false;
       }
     }

@@ -35,6 +35,20 @@ struct SynthesisResult {
   SynthesisResult() : circuit(2), core(2) {}
 };
 
+/// Theorem 2's coset decomposition of a target: a cost-0 NOT prefix plus a
+/// core permutation fixing the all-zero pattern (a member of the paper's G).
+struct NotStripped {
+  std::vector<gates::Gate> not_prefix;
+  perm::Permutation core;  // fixes label 1
+};
+
+/// Strips the NOT coset off `target` (a permutation of {1..2^n} in
+/// binary-value order; smaller degrees are padded with fixed points). Shared
+/// by the MCE layer and the catalog serving front end, which both reduce
+/// lookups to the stored G-set this way.
+[[nodiscard]] NotStripped strip_not_prefix(std::size_t wires,
+                                           const perm::Permutation& target);
+
 /// Minimum-cost expressing over one gate library. Reuses one FMCF closure
 /// across calls, deepening it on demand up to `max_cost` (the paper's cb).
 class McExpressor {
@@ -44,6 +58,13 @@ class McExpressor {
   /// since MCE exists to reconstruct cascades.
   explicit McExpressor(const gates::GateLibrary& library, unsigned max_cost = 7,
                        FmcfOptions fmcf_options = {});
+
+  /// Wraps an existing enumerator — typically one reopened from a persistent
+  /// catalog — without recomputing anything. `max_cost` 0 means "whatever the
+  /// enumerator already holds" (levels_done()); read-only enumerators are
+  /// never deepened regardless, so lookups beyond the stored levels simply
+  /// return nullopt instead of re-running the sweep.
+  explicit McExpressor(FmcfEnumerator enumerator, unsigned max_cost = 0);
 
   /// Synthesizes a minimal realization, or nullopt when the minimal cost
   /// exceeds max_cost (the paper's flag = 0 case). The target permutation
@@ -75,13 +96,10 @@ class McExpressor {
   [[nodiscard]] unsigned max_cost() const { return max_cost_; }
 
  private:
-  struct Stripped {
-    std::vector<gates::Gate> not_prefix;
-    perm::Permutation core_target;  // fixes label 1
-  };
-  [[nodiscard]] Stripped strip_not_coset(const perm::Permutation& target) const;
+  [[nodiscard]] NotStripped strip_not_coset(
+      const perm::Permutation& target) const;
   [[nodiscard]] std::optional<GEntry> locate(const perm::Permutation& core);
-  [[nodiscard]] SynthesisResult assemble(const Stripped& stripped,
+  [[nodiscard]] SynthesisResult assemble(const NotStripped& stripped,
                                          const gates::Cascade& core) const;
 
   const gates::GateLibrary* library_;

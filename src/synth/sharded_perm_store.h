@@ -11,6 +11,13 @@
 // Because shards own disjoint ranges, the set algebra of FlatPermStore
 // (sort/unique/subtract/merge) decomposes into independent per-shard calls —
 // this is what the multi-threaded FMCF closure parallelizes over.
+//
+// Each shard is an ordinary FlatPermStore, so shards inherit the RowStorage
+// backend seam (synth/row_storage.h): a sharded store built for a level
+// sweep uses writable in-memory shards, while the monotone partition means
+// a flatten()ed store can later be served read-only (e.g. mmap'd from a
+// catalog) with shard boundaries recoverable from shard_of() alone — the
+// seam the planned out-of-core n >= 5 frontier spills through.
 #pragma once
 
 #include <algorithm>

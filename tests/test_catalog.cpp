@@ -1,0 +1,569 @@
+// Unit tests for the persistent closure catalog: the RowStorage backend seam
+// (read-only mmap windows behind FlatPermStore), save/reopen round-trips of
+// the FMCF closure, corrupt-input hardening of the reader, and the
+// concurrent CatalogServer front end.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/io/mmap_file.h"
+#include "gates/library.h"
+#include "synth/catalog.h"
+#include "synth/catalog_server.h"
+#include "synth/fmcf.h"
+#include "synth/flat_perm_store.h"
+#include "synth/mce.h"
+#include "synth/row_storage.h"
+#include "synth/specs.h"
+
+namespace qsyn::synth {
+namespace {
+
+// ctest (via gtest_discover_tests) runs every test case as its own process,
+// concurrently under -j: temp files must be per-process or the shared-state
+// helpers below race across processes on the same path.
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "qsyn_" + std::to_string(::getpid()) + "_" +
+         name + ".qscat";
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+const gates::GateLibrary& library3() {
+  static const gates::GateLibrary lib = gates::GateLibrary::standard(3);
+  return lib;
+}
+
+/// The shared 3-qubit closure to cb = 5 (deep enough to include Toffoli at
+/// cost 5) — computed once for the whole binary.
+const FmcfEnumerator& fresh5() {
+  static const FmcfEnumerator* enumerator = [] {
+    auto* e = new FmcfEnumerator(library3());
+    e->run_to(5);
+    return e;
+  }();
+  return *enumerator;
+}
+
+/// The cb = 5 closure saved to disk, once.
+const std::string& catalog5_path() {
+  static const std::string path = [] {
+    const std::string p = temp_path("closure3_cb5");
+    fresh5().save_catalog(p);
+    return p;
+  }();
+  return path;
+}
+
+/// Opens a deliberately damaged copy of the cb = 5 catalog and returns the
+/// CatalogError message (failing the test if it does not throw).
+std::string corrupt_message(
+    const std::string& name,
+    const std::function<void(std::vector<std::uint8_t>&)>& mutate) {
+  std::vector<std::uint8_t> bytes = read_file(catalog5_path());
+  mutate(bytes);
+  const std::string path = temp_path("corrupt_" + name);
+  write_file(path, bytes);
+  std::string message;
+  try {
+    (void)FmcfEnumerator::open_catalog(path, library3());
+    ADD_FAILURE() << "expected CatalogError for " << name;
+  } catch (const qsyn::CatalogError& error) {
+    message = error.what();
+  }
+  std::remove(path.c_str());
+  return message;
+}
+
+// --- mmap helper ----------------------------------------------------------
+
+TEST(MmapFile, MissingFileThrowsIoError) {
+  EXPECT_THROW((void)io::MmapFile::map(temp_path("does_not_exist")),
+               qsyn::IoError);
+}
+
+TEST(MmapFile, DirectoryThrowsIoError) {
+  EXPECT_THROW((void)io::MmapFile::map(::testing::TempDir()), qsyn::IoError);
+}
+
+TEST(MmapFile, MapsWrittenBytes) {
+  const std::string path = temp_path("mmap_bytes");
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 250, 0, 17};
+  write_file(path, bytes);
+  const auto file = io::MmapFile::map(path);
+  ASSERT_EQ(file->size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), file->data()));
+  EXPECT_EQ(file->path(), path);
+  std::remove(path.c_str());
+}
+
+// --- read-only storage backend --------------------------------------------
+
+TEST(RowStorageSeam, MmapBackedStoreServesRowsReadOnly) {
+  // Serialize a little store, map it back, and check the window is the
+  // store: same rows, but every mutation rejected.
+  FlatPermStore original(4);
+  original.push_back(perm::Permutation::from_cycles("(1,2)", 4));
+  original.push_back(perm::Permutation::from_cycles("(2,4)", 4));
+  original.sort_unique();
+
+  const std::string path = temp_path("store_rows");
+  write_file(path, std::vector<std::uint8_t>(
+                       original.data(), original.data() + original.size_bytes()));
+  const auto file = io::MmapFile::map(path);
+  FlatPermStore mapped(
+      4, std::make_shared<MmapRowStorage>(file, 0, file->size()));
+
+  EXPECT_TRUE(mapped.read_only());
+  ASSERT_EQ(mapped.size(), original.size());
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    EXPECT_EQ(mapped.permutation(i), original.permutation(i));
+  }
+  EXPECT_TRUE(mapped.contains_sorted(original.row(1)));
+  EXPECT_EQ(mapped.memory_bytes(), 0u) << "mmap pages are not program heap";
+
+  EXPECT_THROW(mapped.push_back(perm::Permutation::identity(4)),
+               qsyn::LogicError);
+  EXPECT_THROW(mapped.sort_unique(), qsyn::LogicError);
+
+  // Copies deep-copy into a writable in-memory backend.
+  FlatPermStore copy = mapped;
+  EXPECT_FALSE(copy.read_only());
+  copy.push_back(perm::Permutation::identity(4));
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(mapped.size(), 2u);
+
+  // clear() resets to a fresh writable backend even on a read-only store
+  // (and clear_keep_capacity degrades to the same reset: there is no heap
+  // allocation to keep on an mmap window).
+  mapped.clear();
+  EXPECT_FALSE(mapped.read_only());
+  EXPECT_TRUE(mapped.empty());
+  std::remove(path.c_str());
+}
+
+TEST(RowStorageSeam, PartialWindowMustAlignToRows) {
+  const std::string path = temp_path("store_window");
+  write_file(path, std::vector<std::uint8_t>(16, 7));
+  const auto file = io::MmapFile::map(path);
+  // 16 bytes = 4 rows of width 4; a 10-byte window is not a whole number of
+  // rows and an out-of-file window must be rejected up front.
+  EXPECT_NO_THROW(FlatPermStore(4, std::make_shared<MmapRowStorage>(file, 4, 8)));
+  EXPECT_THROW(FlatPermStore(4, std::make_shared<MmapRowStorage>(file, 0, 10)),
+               qsyn::LogicError);
+  EXPECT_THROW(std::make_shared<MmapRowStorage>(file, 8, 12), qsyn::LogicError);
+  std::remove(path.c_str());
+}
+
+// --- catalog round-trip ----------------------------------------------------
+
+TEST(CatalogRoundTrip, StatsAndGSetsSurvive) {
+  const FmcfEnumerator& fresh = fresh5();
+  const FmcfEnumerator reopened =
+      FmcfEnumerator::open_catalog(catalog5_path(), library3());
+
+  ASSERT_EQ(reopened.levels_done(), fresh.levels_done());
+  for (std::size_t i = 0; i < fresh.stats().size(); ++i) {
+    const FmcfLevelStats& a = fresh.stats()[i];
+    const FmcfLevelStats& b = reopened.stats()[i];
+    EXPECT_EQ(b.cost, a.cost);
+    EXPECT_EQ(b.frontier, a.frontier);
+    EXPECT_EQ(b.g_new, a.g_new);
+    EXPECT_EQ(b.pre_g, a.pre_g);
+    EXPECT_EQ(b.seen, a.seen);
+    EXPECT_EQ(b.seconds, a.seconds) << "double bits round-trip exactly";
+  }
+  EXPECT_EQ(reopened.seen_count(), fresh.seen_count());
+  for (unsigned k = 0; k <= fresh.levels_done(); ++k) {
+    EXPECT_EQ(reopened.g_set(k), fresh.g_set(k)) << "G[" << k << "]";
+  }
+}
+
+TEST(CatalogRoundTrip, FindAndWitnessIdenticalForAllReachablePerms) {
+  const FmcfEnumerator& fresh = fresh5();
+  const FmcfEnumerator reopened =
+      FmcfEnumerator::open_catalog(catalog5_path(), library3());
+
+  // Every closure-reachable 3-qubit reversible circuit, level by level: the
+  // reopened catalog must locate it at the same cost and row and reconstruct
+  // the same witness cascade, and that cascade must still realize the
+  // permutation.
+  for (unsigned k = 0; k <= fresh.levels_done(); ++k) {
+    for (const perm::Permutation& g : fresh.g_set(k)) {
+      const auto a = fresh.find(g);
+      const auto b = reopened.find(g);
+      ASSERT_TRUE(a.has_value());
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(b->cost, a->cost);
+      EXPECT_EQ(b->frontier_index, a->frontier_index);
+      const gates::Cascade wa = fresh.witness(*a);
+      const gates::Cascade wb = reopened.witness(*b);
+      EXPECT_EQ(wb.sequence(), wa.sequence());
+      EXPECT_EQ(wb.to_binary_permutation(), g.extended_to(8));
+    }
+  }
+}
+
+TEST(CatalogRoundTrip, ImplementationRowsSurvive) {
+  const FmcfEnumerator reopened =
+      FmcfEnumerator::open_catalog(catalog5_path(), library3());
+  // The paper's multiplicities: 2 implementations of Peres at cost 4, 4 of
+  // Toffoli at cost 5 — straight out of the mmap'd frontier tables.
+  EXPECT_EQ(reopened.implementations(peres_perm(), 4).size(), 2u);
+  EXPECT_EQ(
+      reopened.implementations(strip_not_prefix(3, toffoli_perm()).core, 5)
+          .size(),
+      4u);
+}
+
+TEST(CatalogRoundTrip, ColdStartDoesZeroAdvanceWork) {
+  FmcfEnumerator reopened =
+      FmcfEnumerator::open_catalog(catalog5_path(), library3());
+  EXPECT_TRUE(reopened.read_only());
+  EXPECT_EQ(reopened.levels_done(), 5u);
+  // The regression this guards: reopening must never fall back to
+  // re-enumerating. advance() is a hard error on a catalog, and run_to()
+  // past the stored depth hits the same wall instead of silently sweeping.
+  EXPECT_THROW((void)reopened.advance(), qsyn::LogicError);
+  EXPECT_THROW(reopened.run_to(7), qsyn::LogicError);
+  EXPECT_EQ(reopened.levels_done(), 5u);
+  // Queries still work after the rejected advances.
+  EXPECT_TRUE(reopened.find(peres_perm()).has_value());
+}
+
+TEST(CatalogRoundTrip, FourQubitSpotCheck) {
+  const gates::GateLibrary lib4 = gates::GateLibrary::standard(4);
+  FmcfEnumerator fresh(lib4);
+  fresh.run_to(2);
+  const std::string path = temp_path("closure4_cb2");
+  fresh.save_catalog(path);
+  const FmcfEnumerator reopened = FmcfEnumerator::open_catalog(path, lib4);
+
+  ASSERT_EQ(reopened.levels_done(), 2u);
+  // PR 5's pinned 4-qubit closure profile: |G[1]| = 12, |G[2]| = 96.
+  EXPECT_EQ(reopened.stats()[0].g_new, 12u);
+  EXPECT_EQ(reopened.stats()[1].g_new, 96u);
+  for (unsigned k = 0; k <= 2; ++k) {
+    EXPECT_EQ(reopened.g_set(k), fresh.g_set(k));
+  }
+  for (const perm::Permutation& g : fresh.g_set(2)) {
+    const auto a = fresh.find(g);
+    const auto b = reopened.find(g);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(b->frontier_index, a->frontier_index);
+    EXPECT_EQ(reopened.witness(*b).sequence(), fresh.witness(*a).sequence());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogRoundTrip, CountingClosureReopensWithoutWitnesses) {
+  // A pure-counting closure (track_witnesses off) releases old frontiers;
+  // its catalog still round-trips the G index, and witness reconstruction
+  // fails cleanly rather than reading freed tables.
+  FmcfOptions options;
+  options.track_witnesses = false;
+  FmcfEnumerator fresh(library3(), options);
+  fresh.run_to(3);
+  const std::string path = temp_path("closure3_counting");
+  fresh.save_catalog(path);
+
+  const FmcfEnumerator reopened =
+      FmcfEnumerator::open_catalog(path, library3());
+  ASSERT_EQ(reopened.levels_done(), 3u);
+  for (unsigned k = 0; k <= 3; ++k) {
+    EXPECT_EQ(reopened.g_set(k), fresh.g_set(k));
+  }
+  const auto entry = reopened.find(swap_bc_perm());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->cost, 3u);
+  EXPECT_THROW((void)reopened.witness(*entry), qsyn::LogicError);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogRoundTrip, ExpressorServesFromReopenedCatalog) {
+  McExpressor expressor(
+      FmcfEnumerator::open_catalog(catalog5_path(), library3()));
+  EXPECT_EQ(expressor.max_cost(), 5u);
+  const auto peres = expressor.synthesize(peres_perm());
+  ASSERT_TRUE(peres.has_value());
+  EXPECT_EQ(peres->cost, 4u);
+  EXPECT_EQ(peres->circuit.to_binary_permutation(), peres_perm());
+  // Beyond the stored depth the expressor reports "not found" instead of
+  // trying to deepen a read-only closure.
+  McExpressor shallow(FmcfEnumerator::open_catalog(catalog5_path(), library3()),
+                      7);
+  EXPECT_FALSE(shallow.synthesize(fredkin_perm()).has_value());
+}
+
+// --- corrupt-input hardening ------------------------------------------------
+
+TEST(CatalogCorruption, TruncationsAreRejected) {
+  EXPECT_NE(corrupt_message("header_cut",
+                            [](std::vector<std::uint8_t>& b) { b.resize(10); })
+                .find("truncated"),
+            std::string::npos);
+  EXPECT_NE(corrupt_message("stats_cut",
+                            [](std::vector<std::uint8_t>& b) {
+                              b.resize(catalog::kHeaderBytes + 3);
+                            })
+                .find("truncated"),
+            std::string::npos);
+  EXPECT_NE(corrupt_message("frontier_cut",
+                            [](std::vector<std::uint8_t>& b) {
+                              b.resize(b.size() - 5);
+                            })
+                .find("frontier"),
+            std::string::npos);
+  EXPECT_NE(corrupt_message("empty",
+                            [](std::vector<std::uint8_t>& b) { b.clear(); })
+                .find("truncated"),
+            std::string::npos);
+}
+
+TEST(CatalogCorruption, WrongMagicIsRejected) {
+  const std::string message = corrupt_message(
+      "magic", [](std::vector<std::uint8_t>& b) { b[catalog::kMagicOffset] ^= 0xff; });
+  EXPECT_NE(message.find("magic"), std::string::npos);
+}
+
+TEST(CatalogCorruption, WrongVersionIsRejected) {
+  const std::string message =
+      corrupt_message("version", [](std::vector<std::uint8_t>& b) {
+        b[catalog::kVersionOffset + 3] = 99;
+      });
+  EXPECT_NE(message.find("version 99"), std::string::npos);
+}
+
+TEST(CatalogCorruption, WrongEndianTagIsRejected) {
+  const std::string message =
+      corrupt_message("endian", [](std::vector<std::uint8_t>& b) {
+        std::swap(b[catalog::kEndianOffset], b[catalog::kEndianOffset + 3]);
+      });
+  EXPECT_NE(message.find("endian"), std::string::npos);
+}
+
+TEST(CatalogCorruption, DomainFingerprintMismatchIsRejected) {
+  const std::string message =
+      corrupt_message("domain_fp", [](std::vector<std::uint8_t>& b) {
+        b[catalog::kDomainFingerprintOffset + 5] ^= 0x40;
+      });
+  EXPECT_NE(message.find("domain fingerprint"), std::string::npos);
+}
+
+TEST(CatalogCorruption, LibraryFingerprintMismatchIsRejected) {
+  const std::string message =
+      corrupt_message("library_fp", [](std::vector<std::uint8_t>& b) {
+        b[catalog::kLibraryFingerprintOffset] ^= 0x01;
+      });
+  EXPECT_NE(message.find("library fingerprint"), std::string::npos);
+}
+
+TEST(CatalogCorruption, DifferentLibraryShapeIsRejected) {
+  // Opening against a different-arity library fails on the shape check
+  // before any fingerprint math.
+  const gates::GateLibrary lib4 = gates::GateLibrary::standard(4);
+  EXPECT_THROW((void)FmcfEnumerator::open_catalog(catalog5_path(), lib4),
+               qsyn::CatalogError);
+  // Same domain, fewer gates (a restricted library) is also a shape change.
+  const gates::GateLibrary cnots =
+      library3().restricted_to(library3().feynman_indices());
+  EXPECT_THROW((void)FmcfEnumerator::open_catalog(catalog5_path(), cnots),
+               qsyn::CatalogError);
+}
+
+TEST(CatalogCorruption, TrailingBytesAreRejected) {
+  const std::string message = corrupt_message(
+      "trailing", [](std::vector<std::uint8_t>& b) { b.push_back(0); });
+  EXPECT_NE(message.find("trailing"), std::string::npos);
+}
+
+TEST(CatalogCorruption, UnsortedGIndexIsRejected) {
+  const std::string message =
+      corrupt_message("unsorted_g", [](std::vector<std::uint8_t>& b) {
+        const std::uint32_t levels = catalog::get_u32(
+            b.data() + catalog::kLevelsOffset);
+        const std::size_t table =
+            catalog::kHeaderBytes + levels * catalog::kStatsEntryBytes;
+        std::swap_ranges(b.begin() + table,
+                         b.begin() + table + catalog::kGEntryBytes,
+                         b.begin() + table + catalog::kGEntryBytes);
+      });
+  EXPECT_NE(message.find("ascending"), std::string::npos);
+}
+
+TEST(CatalogCorruption, NotACatalogFileIsRejectedCleanly) {
+  const std::string path = temp_path("not_a_catalog");
+  write_file(path, {0x7f, 'E', 'L', 'F', 2, 1, 1, 0, 0, 0});
+  EXPECT_THROW((void)FmcfEnumerator::open_catalog(path, library3()),
+               qsyn::CatalogError);
+  std::remove(path.c_str());
+}
+
+// --- CatalogServer ----------------------------------------------------------
+
+std::vector<perm::Permutation> server_targets() {
+  return {perm::Permutation::identity(8),
+          peres_perm(),
+          toffoli_perm(),
+          g2_perm(),
+          g3_perm(),
+          g4_perm(),
+          swap_bc_perm(),
+          fredkin_perm(),  // cost > 5: a stored-depth miss
+          // NOT-only target: core is the identity, prefix is one NOT.
+          perm_from_truth(3, [](std::uint32_t bits) { return bits ^ 0b100u; })};
+}
+
+TEST(CatalogServer, SingleQueriesMatchTheExpressor) {
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  McExpressor expressor(library3(), 5);
+  for (const perm::Permutation& target : server_targets()) {
+    const auto expected = expressor.synthesize(target);
+    const auto got = server.synthesize(target);
+    ASSERT_EQ(got.has_value(), expected.has_value());
+    if (!got.has_value()) continue;
+    EXPECT_EQ(got->cost, expected->cost);
+    EXPECT_EQ(got->circuit.sequence(), expected->circuit.sequence());
+    EXPECT_EQ(got->not_prefix, expected->not_prefix);
+  }
+}
+
+TEST(CatalogServer, LocateReportsPrefixAndCost) {
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  const auto identity = server.locate(perm::Permutation::identity(8));
+  ASSERT_TRUE(identity.has_value());
+  EXPECT_EQ(identity->cost, 0u);
+  EXPECT_TRUE(identity->not_prefix.empty());
+
+  const auto nots = server.locate(
+      perm_from_truth(3, [](std::uint32_t bits) { return bits ^ 0b101u; }));
+  ASSERT_TRUE(nots.has_value());
+  EXPECT_EQ(nots->cost, 0u);
+  EXPECT_EQ(nots->not_prefix.size(), 2u);
+
+  const auto toffoli = server.locate(toffoli_perm());
+  ASSERT_TRUE(toffoli.has_value());
+  EXPECT_EQ(toffoli->cost, 5u);
+
+  EXPECT_FALSE(server.locate(fredkin_perm()).has_value());
+}
+
+TEST(CatalogServer, BatchedQueriesMatchSingles) {
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  const std::vector<perm::Permutation> targets = server_targets();
+
+  const auto located = server.locate_batch(targets);
+  const auto synthesized = server.synthesize_batch(targets);
+  ASSERT_EQ(located.size(), targets.size());
+  ASSERT_EQ(synthesized.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto single = server.locate(targets[i]);
+    ASSERT_EQ(located[i].has_value(), single.has_value()) << i;
+    if (single.has_value()) {
+      EXPECT_EQ(located[i]->cost, single->cost);
+      EXPECT_EQ(located[i]->frontier_index, single->frontier_index);
+      EXPECT_EQ(located[i]->not_prefix, single->not_prefix);
+    }
+    const auto one = server.synthesize(targets[i]);
+    ASSERT_EQ(synthesized[i].has_value(), one.has_value()) << i;
+    if (one.has_value()) {
+      EXPECT_EQ(synthesized[i]->circuit.sequence(), one->circuit.sequence());
+    }
+  }
+}
+
+TEST(CatalogServer, WitnessCacheCountsHits) {
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  (void)server.synthesize(peres_perm());
+  const auto after_first = server.cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.entries, 1u);
+  (void)server.synthesize(peres_perm());
+  const auto after_second = server.cache_stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.entries, 1u);
+}
+
+TEST(CatalogServer, ZeroCapacityDisablesTheCache) {
+  CatalogServerOptions options;
+  options.witness_cache_capacity = 0;
+  const CatalogServer server =
+      CatalogServer::open(catalog5_path(), library3(), options);
+  (void)server.synthesize(peres_perm());
+  (void)server.synthesize(peres_perm());
+  const auto stats = server.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(CatalogServer, ConcurrentMixedQueriesAgree) {
+  // Race coverage for the lock-free read path + shared witness cache: four
+  // reader threads hammer single queries while the main thread runs batches.
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  const std::vector<perm::Permutation> targets = server_targets();
+
+  std::vector<std::vector<unsigned>> seen_costs(4);
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        for (const perm::Permutation& target : targets) {
+          const auto result = server.synthesize(target);
+          seen_costs[t].push_back(result.has_value() ? result->cost + 1 : 0);
+        }
+      }
+    });
+  }
+  const auto batch = server.synthesize_batch(targets);
+  for (std::thread& reader : readers) reader.join();
+
+  for (std::size_t t = 1; t < 4; ++t) {
+    EXPECT_EQ(seen_costs[t], seen_costs[0]);
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto single = server.synthesize(targets[i]);
+    ASSERT_EQ(batch[i].has_value(), single.has_value());
+    if (single.has_value()) {
+      EXPECT_EQ(batch[i]->circuit.sequence(), single->circuit.sequence());
+    }
+  }
+}
+
+TEST(CatalogServer, ServesFreshClosuresToo) {
+  // The server is storage-agnostic: a just-computed (writable) closure
+  // serves identically to its catalog-backed reopen.
+  FmcfEnumerator fresh(library3());
+  fresh.run_to(4);
+  const CatalogServer in_memory{std::move(fresh)};
+  const CatalogServer mapped = CatalogServer::open(catalog5_path(), library3());
+  const auto a = in_memory.synthesize(peres_perm());
+  const auto b = mapped.synthesize(peres_perm());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->circuit.sequence(), b->circuit.sequence());
+}
+
+}  // namespace
+}  // namespace qsyn::synth

@@ -1,12 +1,21 @@
 // Unit tests for the weighted (arbitrary cost model) Dijkstra synthesizer —
 // the executable form of the paper's claim that the method adapts to
-// "any particular numerical values of costs" (e.g. NMR pulse costs [4]).
+// "any particular numerical values of costs" (e.g. NMR pulse costs [4]) —
+// and for the weighted query path over the persistent catalog
+// (CatalogServer::locate_weighted: "cheapest stored realization under
+// cost model X").
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/error.h"
 #include "gates/library.h"
 #include "mvl/domain.h"
 #include "sim/cross_check.h"
+#include "synth/catalog_server.h"
+#include "synth/fmcf.h"
 #include "synth/mce.h"
 #include "synth/specs.h"
 #include "synth/weighted.h"
@@ -115,6 +124,115 @@ TEST(Weighted, DegreeGuard) {
   EXPECT_THROW(
       (void)dijkstra.minimal_cost(perm::Permutation::from_cycles("(1,9)", 9)),
       qsyn::LogicError);
+}
+
+// --- the weighted query path over the persistent catalog --------------------
+
+/// One shared cb = 5 serving layer for the weighted-catalog tests.
+const CatalogServer& server5() {
+  static const CatalogServer* server = [] {
+    // The enumerator stores a pointer to its library, so serve over the
+    // static library3() rather than a temporary.
+    FmcfEnumerator closure(library3());
+    closure.run_to(5);
+    return new CatalogServer(std::move(closure));
+  }();
+  return *server;
+}
+
+TEST(CatalogWeighted, UnitModelReproducesMinimalCost) {
+  // Under the paper's unit model the cheapest stored realization is exactly
+  // the minimal-gate-count one, so the catalog's weighted answer must agree
+  // with plain MCE on every named circuit.
+  McExpressor mce(library3(), 5);
+  for (const auto& target : {peres_perm(), toffoli_perm(), swap_bc_perm(),
+                             g2_perm(), g3_perm(), g4_perm()}) {
+    const auto answer =
+        server5().locate_weighted(target, gates::CostModel::unit());
+    const auto bfs = mce.minimal_cost(target);
+    ASSERT_TRUE(answer.has_value()) << target.to_cycle_string();
+    ASSERT_TRUE(bfs.has_value());
+    EXPECT_EQ(answer->model_cost, *bfs);
+    EXPECT_EQ(answer->gate_count, *bfs);
+    EXPECT_EQ(answer->circuit.to_binary_permutation(), target);
+  }
+}
+
+TEST(CatalogWeighted, NmrModelPicksTheCheapestImplementation) {
+  // Non-uniform costs: the server must return the min over every stored
+  // implementation row, which we cross-check against a hand scan of the
+  // expressor's implementations (2 for Peres, 4 for Toffoli).
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  McExpressor mce(library3(), 5);
+  for (const auto& target : {peres_perm(), toffoli_perm(), g3_perm()}) {
+    const auto implementations = mce.implementations(target);
+    ASSERT_FALSE(implementations.empty());
+    unsigned cheapest = implementations.front().circuit.cost(nmr);
+    for (const SynthesisResult& impl : implementations) {
+      cheapest = std::min(cheapest, impl.circuit.cost(nmr));
+    }
+    const auto answer = server5().locate_weighted(target, nmr);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_EQ(answer->model_cost, cheapest) << target.to_cycle_string();
+    EXPECT_EQ(answer->circuit.cost(nmr), answer->model_cost);
+    EXPECT_EQ(answer->circuit.to_binary_permutation(), target);
+  }
+}
+
+TEST(CatalogWeighted, DeeperScanNeverCostsMore) {
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  for (const auto& target : {peres_perm(), swap_bc_perm(), g2_perm()}) {
+    const auto minimal_level = server5().locate_weighted(target, nmr, false);
+    const auto all_levels = server5().locate_weighted(target, nmr, true);
+    ASSERT_TRUE(minimal_level.has_value());
+    ASSERT_TRUE(all_levels.has_value());
+    EXPECT_LE(all_levels->model_cost, minimal_level->model_cost);
+    EXPECT_EQ(all_levels->circuit.to_binary_permutation(), target);
+  }
+}
+
+TEST(CatalogWeighted, DijkstraLowerBoundsTheCatalogAnswer) {
+  // The Dijkstra search optimizes over *all* cascades (NOT gates as weighted
+  // moves included); the catalog only ranks its stored realizations, so the
+  // global optimum can never exceed the catalog's answer.
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  const WeightedSynthesizer dijkstra(library3(), nmr);
+  for (const auto& target : {peres_perm(), toffoli_perm(), swap_bc_perm()}) {
+    const auto exact = dijkstra.minimal_cost(target);
+    const auto stored = server5().locate_weighted(target, nmr, true);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_LE(*exact, stored->model_cost) << target.to_cycle_string();
+  }
+}
+
+TEST(CatalogWeighted, MissBeyondStoredDepth) {
+  // Fredkin first appears in G[7]; a cb = 5 catalog reports it unreachable
+  // under every model instead of guessing.
+  EXPECT_FALSE(
+      server5().locate_weighted(fredkin_perm(), gates::CostModel::unit())
+          .has_value());
+  EXPECT_FALSE(
+      server5().locate_weighted(fredkin_perm(), gates::CostModel::nmr_like())
+          .has_value());
+}
+
+TEST(CatalogWeighted, DiskRoundTripServesTheSameWeightedAnswers) {
+  const std::string path =
+      ::testing::TempDir() + "qsyn_weighted_catalog.qscat";
+  server5().enumerator().save_catalog(path);
+  const CatalogServer reopened =
+      CatalogServer::open(path, server5().enumerator().library());
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  for (const auto& target : {peres_perm(), toffoli_perm(), g4_perm()}) {
+    const auto a = server5().locate_weighted(target, nmr);
+    const auto b = reopened.locate_weighted(target, nmr);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(b->model_cost, a->model_cost);
+    EXPECT_EQ(b->gate_count, a->gate_count);
+    EXPECT_EQ(b->circuit.sequence(), a->circuit.sequence());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
