@@ -35,7 +35,7 @@ void regenerate() {
                                       " labels (4^4 - 3^4 + 1)");
   bench::value_row("library size", std::to_string(library.size()) + " gates");
 
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;
   synth::FmcfEnumerator enumerator(library, options);
   std::printf(
@@ -55,7 +55,7 @@ void regenerate() {
 void bm_expand_4q_level2(benchmark::State& state) {
   const gates::GateLibrary library = gates::GateLibrary::standard(4);
   for (auto _ : state) {
-    synth::FmcfOptions options;
+    synth::ClosureConfig options;
     options.track_witnesses = false;
     synth::FmcfEnumerator enumerator(library, options);
     enumerator.run_to(2);

@@ -36,10 +36,10 @@ void ablation_pruning() {
   bench::section("A1: banned-set pruning (reasonable product) ablation");
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  synth::FmcfOptions pruned_options;
+  synth::ClosureConfig pruned_options;
   pruned_options.track_witnesses = false;
   synth::FmcfEnumerator pruned(library, pruned_options);
-  synth::FmcfOptions free_options;
+  synth::ClosureConfig free_options;
   free_options.track_witnesses = false;
   free_options.use_banned_sets = false;
   synth::FmcfEnumerator unpruned(library, free_options);

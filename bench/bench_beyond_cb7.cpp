@@ -34,7 +34,7 @@ void regenerate() {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
 
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;
   synth::FmcfEnumerator enumerator(library, options);
 

@@ -76,7 +76,7 @@ void bm_fmcf_group_coverage_cost6(benchmark::State& state) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
   for (auto _ : state) {
-    synth::FmcfOptions options;
+    synth::ClosureConfig options;
     options.track_witnesses = false;
     options.threads = static_cast<std::size_t>(state.range(0));
     synth::FmcfEnumerator enumerator(library, options);

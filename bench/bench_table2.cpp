@@ -29,7 +29,7 @@ void regenerate_table2() {
   const gates::GateLibrary library(domain);
 
   Stopwatch total;
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;  // pure counting
   synth::FmcfEnumerator enumerator(library, options);
   std::printf("  sweep threads: %zu (QSYN_THREADS overrides)\n",
@@ -66,7 +66,7 @@ void run_closure_sweep(benchmark::State& state, unsigned max_cost,
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
   for (auto _ : state) {
-    synth::FmcfOptions options;
+    synth::ClosureConfig options;
     options.track_witnesses = false;
     options.threads = threads;
     synth::FmcfEnumerator enumerator(library, options);

@@ -23,6 +23,13 @@
 # reporting a PR's perf delta. QSYN_SIM_FUSE / QSYN_THREADS tune the
 # engine's defaults but the bench pins its own knobs per row.
 #
+# bench_domain_growth carries the out-of-core closure row
+# (bm_closure_outofcore/5): the 5-wire closure to k=3 under a 32 MiB spill
+# budget, with heap_MiB/disk_MiB counters showing the working set living in
+# sealed run files instead of RAM. QSYN_GROWTH_DEPTH=4 opts the same row into
+# the gigabyte-scale level 4; its "spill engaged" stdout line turns into a
+# DIFFERS failure if the run ever stops spilling.
+#
 # bench_catalog measures the persistent-catalog serving layer:
 # bm_catalog_cold_start (open + first locate on a saved cb=7 catalog — the
 # number that replaces the multi-hundred-ms closure sweep), bm_catalog_locate

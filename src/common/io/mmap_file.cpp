@@ -1,5 +1,6 @@
 #include "common/io/mmap_file.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/error.h"
@@ -45,6 +46,48 @@ MmapFile::MmapFile(const std::string& path) : path_(path) {
 
 MmapFile::~MmapFile() = default;
 
+GrowableMmapFile::GrowableMmapFile(const std::string& path,
+                                   bool unlink_on_destroy)
+    : path_(path), unlink_on_destroy_(unlink_on_destroy) {
+  // Probe writability up front so the error surfaces at construction, like
+  // the POSIX path.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("open", path, "cannot create for writing");
+}
+
+GrowableMmapFile::~GrowableMmapFile() {
+  if (unlink_on_destroy_) std::remove(path_.c_str());
+}
+
+void GrowableMmapFile::ensure_capacity(std::size_t needed) {
+  if (fallback_.capacity() < needed) fallback_.reserve(needed * 2);
+}
+
+void GrowableMmapFile::append(const std::uint8_t* bytes, std::size_t n) {
+  QSYN_CHECK(!sealed_, "GrowableMmapFile is sealed: no further mutation");
+  fallback_.insert(fallback_.end(), bytes, bytes + n);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+void GrowableMmapFile::resize(std::size_t n) {
+  QSYN_CHECK(!sealed_, "GrowableMmapFile is sealed: no further mutation");
+  fallback_.resize(n);
+  data_ = fallback_.empty() ? nullptr : fallback_.data();
+  size_ = n;
+}
+
+void GrowableMmapFile::seal() {
+  if (sealed_) return;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) fail("open", path_, "cannot open for writing");
+  out.write(reinterpret_cast<const char*>(fallback_.data()),
+            static_cast<std::streamsize>(fallback_.size()));
+  out.flush();
+  if (!out) fail("write", path_, "stream error");
+  sealed_ = true;
+}
+
 #else
 
 MmapFile::MmapFile(const std::string& path) : path_(path) {
@@ -80,6 +123,76 @@ MmapFile::~MmapFile() {
   }
 }
 
+GrowableMmapFile::GrowableMmapFile(const std::string& path,
+                                   bool unlink_on_destroy)
+    : path_(path), unlink_on_destroy_(unlink_on_destroy) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail("open", path, std::strerror(errno));
+}
+
+GrowableMmapFile::~GrowableMmapFile() {
+  if (data_ != nullptr) ::munmap(data_, capacity_);
+  if (fd_ >= 0) ::close(fd_);
+  if (unlink_on_destroy_) std::remove(path_.c_str());
+}
+
+void GrowableMmapFile::ensure_capacity(std::size_t needed) {
+  if (needed <= capacity_) return;
+  // Geometric growth bounds the remap count; 1 MiB floor keeps tiny spill
+  // budgets from remapping per row.
+  std::size_t next = capacity_ < (std::size_t(1) << 20)
+                         ? (std::size_t(1) << 20)
+                         : capacity_ * 2;
+  while (next < needed) next *= 2;
+  if (::ftruncate(fd_, static_cast<off_t>(next)) != 0) {
+    fail("ftruncate", path_, std::strerror(errno));
+  }
+  if (data_ != nullptr) ::munmap(data_, capacity_);
+  data_ = nullptr;
+  void* addr =
+      ::mmap(nullptr, next, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (addr == MAP_FAILED) fail("mmap", path_, std::strerror(errno));
+  data_ = static_cast<std::uint8_t*>(addr);
+  capacity_ = next;
+}
+
+void GrowableMmapFile::append(const std::uint8_t* bytes, std::size_t n) {
+  QSYN_CHECK(!sealed_, "GrowableMmapFile is sealed: no further mutation");
+  if (n == 0) return;
+  ensure_capacity(size_ + n);
+  std::memcpy(data_ + size_, bytes, n);
+  size_ += n;
+}
+
+void GrowableMmapFile::resize(std::size_t n) {
+  QSYN_CHECK(!sealed_, "GrowableMmapFile is sealed: no further mutation");
+  if (n > size_) {
+    ensure_capacity(n);
+    std::memset(data_ + size_, 0, n - size_);
+  }
+  size_ = n;
+}
+
+void GrowableMmapFile::seal() {
+  if (sealed_) return;
+  if (data_ != nullptr && size_ > 0 &&
+      ::msync(data_, size_, MS_SYNC) != 0) {
+    fail("msync", path_, std::strerror(errno));
+  }
+  // Trim the growth slack so the on-disk file is exactly the logical bytes;
+  // the mapping beyond size_ is never read after this point.
+  if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+    fail("ftruncate", path_, std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) fail("fsync", path_, std::strerror(errno));
+  sealed_ = true;
+}
+
 #endif
+
+std::uint8_t* GrowableMmapFile::mutable_data() {
+  QSYN_CHECK(!sealed_, "GrowableMmapFile is sealed: no further mutation");
+  return data_;
+}
 
 }  // namespace qsyn::io

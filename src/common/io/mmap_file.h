@@ -1,20 +1,34 @@
 // qsyn/common/io/mmap_file.h
 //
-// Read-only memory-mapped files — the zero-copy substrate of the persistent
-// synthesis catalog (synth/catalog.h).
+// Memory-mapped files — the zero-copy substrate of the persistent synthesis
+// catalog (synth/catalog.h) and the out-of-core closure spill engine
+// (synth/spill.h).
 //
-// A MmapFile maps one file read-only for its whole lifetime and hands out a
-// stable (data, size) byte view. Consumers that outlive the opener (e.g. the
-// catalog's MmapRowStorage windows) share ownership through the shared_ptr
-// returned by map(), so the mapping is released exactly when the last view
-// dies. Pages are faulted in lazily by the kernel: opening a multi-megabyte
-// catalog costs microseconds, and only the pages a query actually touches
-// ever become resident.
+// Two classes live here:
 //
-// Failures (missing file, directory, stat/map errors) throw qsyn::IoError;
-// no partial state escapes. On platforms without POSIX mmap the class
-// degrades to reading the whole file into a private heap buffer — same API,
-// no laziness.
+//  * MmapFile — maps one file read-only for its whole lifetime and hands out
+//    a stable (data, size) byte view. Consumers that outlive the opener
+//    (e.g. the catalog's MmapRowStorage windows, sealed spill runs) share
+//    ownership through the shared_ptr returned by map(), so the mapping is
+//    released exactly when the last view dies. Pages are faulted in lazily by
+//    the kernel: opening a multi-megabyte catalog costs microseconds, and
+//    only the pages a query actually touches ever become resident.
+//
+//  * GrowableMmapFile — creates one file read-write and maps a growable
+//    window over it (capacity grows geometrically via ftruncate + remap).
+//    This is the writable half of the spill seam: shard bytes are appended
+//    through the mapping (so they are file cache, not program heap), and
+//    seal() makes the contents durable (msync + fsync) and freezes the file
+//    read-only for the rest of its lifetime. A sealed file keeps serving its
+//    mapping, so a spilled frontier can be read back with zero copies.
+//
+// Error taxonomy (shared with the rest of the storage seam): every failed
+// filesystem operation (open, stat, truncate, map, sync) throws qsyn::IoError
+// carrying the operation, the path, and the OS detail; mutating a sealed
+// GrowableMmapFile is a caller bug and throws qsyn::LogicError. No partial
+// state escapes a throwing constructor. On platforms without POSIX mmap both
+// classes degrade to private heap buffers — same API, no laziness (and
+// GrowableMmapFile writes the buffer out on seal()).
 #pragma once
 
 #include <cstddef>
@@ -50,6 +64,60 @@ class MmapFile {
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
   bool mapped_ = false;  // true when data_ came from mmap (needs munmap)
+};
+
+/// A writable, growable memory-mapped file: the append side of the spill
+/// engine. Not thread-safe; one writer owns the file until seal().
+class GrowableMmapFile {
+ public:
+  /// Creates (or truncates) `path` read-write. Throws qsyn::IoError when the
+  /// file cannot be created or mapped (e.g. the spill directory does not
+  /// exist or is not writable). When `unlink_on_destroy` is set the file is
+  /// removed by the destructor — the RAII cleanup the spill engine relies on
+  /// for its temporary run files.
+  explicit GrowableMmapFile(const std::string& path,
+                            bool unlink_on_destroy = false);
+
+  GrowableMmapFile(const GrowableMmapFile&) = delete;
+  GrowableMmapFile& operator=(const GrowableMmapFile&) = delete;
+  ~GrowableMmapFile();
+
+  /// The mapped bytes, stable until the next growth (append/resize may
+  /// remap). nullptr while empty. The mutable view is a mutation like any
+  /// other: requesting it on a sealed file throws qsyn::LogicError.
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::uint8_t* mutable_data();
+
+  /// Logical size in bytes (the file is truncated down to this on seal()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends `n` bytes, growing the mapping geometrically as needed.
+  /// Throws qsyn::LogicError once sealed, qsyn::IoError on growth failure.
+  void append(const std::uint8_t* bytes, std::size_t n);
+
+  /// Sets the logical size (grows zero-filled or shrinks; the backing
+  /// capacity never shrinks before seal()). Same error contract as append().
+  void resize(std::size_t n);
+
+  /// Flushes the mapping and the file to stable storage (msync + ftruncate
+  /// to the logical size + fsync) and freezes the file: every later mutation
+  /// throws qsyn::LogicError. The mapping stays valid for reads. Idempotent.
+  void seal();
+
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+ private:
+  void ensure_capacity(std::size_t needed);
+
+  std::string path_;
+  std::vector<std::uint8_t> fallback_;  // non-POSIX heap path
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;      // logical bytes
+  std::size_t capacity_ = 0;  // mapped/truncated bytes
+  int fd_ = -1;
+  bool sealed_ = false;
+  bool unlink_on_destroy_ = false;
 };
 
 }  // namespace qsyn::io

@@ -6,6 +6,7 @@
 // advance() level.
 #include "synth/catalog.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -92,8 +93,12 @@ void FmcfEnumerator::save_catalog(const std::string& path) const {
 
   // Frontier sections, k = 0..levels. Store rows are big-endian already, so
   // the row bytes go out verbatim (and come back in as an mmap window).
-  // Without witness tracking the pre-latest frontiers were released and
-  // serialize as zero-row sections.
+  // Spilled closures hand their frontiers over as mmap'd sealed spill files,
+  // so the copy below streams kernel-cached file pages straight into the
+  // ofstream in bounded slices — the frontier never takes a round trip
+  // through a frontier-sized heap buffer. Without witness tracking the
+  // pre-latest frontiers were released and serialize as zero-row sections.
+  constexpr std::size_t kCopySliceBytes = std::size_t(8) << 20;
   std::vector<std::uint8_t> prefix;
   for (unsigned k = 0; k <= levels; ++k) {
     const FlatPermStore& frontier = frontiers_[k];
@@ -101,8 +106,13 @@ void FmcfEnumerator::save_catalog(const std::string& path) const {
     cat::put_u64(prefix, frontier.size());
     out.write(reinterpret_cast<const char*>(prefix.data()),
               static_cast<std::streamsize>(prefix.size()));
-    out.write(reinterpret_cast<const char*>(frontier.data()),
-              static_cast<std::streamsize>(frontier.size_bytes()));
+    for (std::size_t off = 0; off < frontier.size_bytes();
+         off += kCopySliceBytes) {
+      const std::size_t n =
+          std::min(kCopySliceBytes, frontier.size_bytes() - off);
+      out.write(reinterpret_cast<const char*>(frontier.data() + off),
+                static_cast<std::streamsize>(n));
+    }
   }
   out.flush();
   if (!out) {
@@ -112,7 +122,7 @@ void FmcfEnumerator::save_catalog(const std::string& path) const {
 
 FmcfEnumerator FmcfEnumerator::open_catalog(const std::string& path,
                                             const gates::GateLibrary& library,
-                                            FmcfOptions options) {
+                                            ClosureConfig options) {
   namespace cat = catalog;
   const std::shared_ptr<const io::MmapFile> file = io::MmapFile::map(path);
   const std::uint8_t* base = file->data();

@@ -36,8 +36,8 @@ namespace qsyn::synth {
 
 struct CatalogServerOptions {
   /// Worker threads for the batch entry points (0 = QSYN_THREADS /
-  /// hardware_concurrency, like FmcfOptions::threads). Single queries never
-  /// touch the pool.
+  /// hardware_concurrency, like ClosureConfig::threads). Single queries
+  /// never touch the pool.
   std::size_t threads = 0;
 
   /// Maximum cached witness cascades (0 disables caching). The cache stops

@@ -1,0 +1,49 @@
+#include "synth/closure_config.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace qsyn::synth {
+
+std::size_t resolve_threads(std::size_t requested) {
+  return requested != 0 ? requested : ThreadPool::default_thread_count();
+}
+
+std::size_t resolve_shards(std::size_t requested, std::size_t threads) {
+  if (requested != 0) {
+    QSYN_CHECK(requested <= 65536, "shard count must be in [1, 65536]");
+    return requested;
+  }
+  if (threads <= 1) return 1;
+  // ~4 shards per worker keeps the per-shard sort/subtract/merge rounds
+  // load-balanced; a power of two keeps the prefix routing even.
+  std::size_t shards = 1;
+  while (shards < 4 * threads && shards < 256) shards <<= 1;
+  return shards;
+}
+
+std::size_t resolve_spill_budget(std::size_t requested_bytes) {
+  if (requested_bytes != 0) return requested_bytes;
+  if (const char* env = std::getenv("QSYN_SPILL_BUDGET_MB")) {
+    const unsigned long mib = std::strtoul(env, nullptr, 10);
+    if (mib > 0) return static_cast<std::size_t>(mib) << 20;
+  }
+  return 0;  // unlimited: never spill
+}
+
+std::string resolve_spill_dir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  if (const char* env = std::getenv("QSYN_SPILL_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  std::error_code ec;
+  const std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  // An unresolvable temp dir degrades to the working directory; the first
+  // spill write reports qsyn::IoError if that too is unusable.
+  return ec ? std::string(".") : tmp.string();
+}
+
+}  // namespace qsyn::synth

@@ -98,10 +98,20 @@ void FlatPermStore::sync_view() {
   }
 }
 
-std::vector<std::uint8_t>& FlatPermStore::writable() {
-  QSYN_CHECK(vec_ != nullptr,
-             "FlatPermStore is read-only (catalog-backed) or moved-from");
-  return *vec_;
+void FlatPermStore::ensure_writable() const {
+  QSYN_CHECK(!read_only(),
+             "FlatPermStore is read-only (catalog-backed, sealed spill file, "
+             "or moved-from)");
+}
+
+void FlatPermStore::commit_bytes(std::vector<std::uint8_t> bytes) {
+  if (vec_ != nullptr) {
+    *vec_ = std::move(bytes);
+  } else {
+    ensure_writable();
+    storage_->replace_bytes(std::move(bytes));
+  }
+  sync_view();
 }
 
 const std::uint8_t* FlatPermStore::row(std::size_t i) const {
@@ -110,8 +120,12 @@ const std::uint8_t* FlatPermStore::row(std::size_t i) const {
 }
 
 void FlatPermStore::push_back(const std::uint8_t* row_bytes) {
-  std::vector<std::uint8_t>& bytes = writable();
-  bytes.insert(bytes.end(), row_bytes, row_bytes + stride_);
+  if (vec_ != nullptr) {
+    vec_->insert(vec_->end(), row_bytes, row_bytes + stride_);
+  } else {
+    ensure_writable();
+    storage_->append_bytes(row_bytes, stride_);
+  }
   sync_view();
 }
 
@@ -141,7 +155,7 @@ perm::Permutation FlatPermStore::permutation(std::size_t i) const {
 }
 
 void FlatPermStore::sort_unique() {
-  std::vector<std::uint8_t>& bytes = writable();
+  ensure_writable();
   const std::size_t n = size();
   if (n <= 1) return;
   // Indirect sort: order row indices, then gather into a fresh buffer.
@@ -155,7 +169,7 @@ void FlatPermStore::sort_unique() {
                                  base + std::size_t(b) * w, w) < 0;
             });
   std::vector<std::uint8_t> sorted;
-  sorted.reserve(bytes.size());
+  sorted.reserve(view_bytes_);
   const std::uint8_t* prev = nullptr;
   for (const std::uint32_t idx : order) {
     const std::uint8_t* r = base + std::size_t(idx) * w;
@@ -163,16 +177,15 @@ void FlatPermStore::sort_unique() {
     sorted.insert(sorted.end(), r, r + w);
     prev = sorted.data() + sorted.size() - w;
   }
-  bytes = std::move(sorted);
-  sync_view();
+  commit_bytes(std::move(sorted));
 }
 
 void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
-  std::vector<std::uint8_t>& bytes = writable();
+  ensure_writable();
   if (empty() || other.empty()) return;
   std::vector<std::uint8_t> kept;
-  kept.reserve(bytes.size());
+  kept.reserve(view_bytes_);
   const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -193,16 +206,15 @@ void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
       ++i;  // drop: present in other
     }
   }
-  bytes = std::move(kept);
-  sync_view();
+  commit_bytes(std::move(kept));
 }
 
 void FlatPermStore::merge_sorted(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
-  std::vector<std::uint8_t>& bytes = writable();
+  ensure_writable();
   if (other.empty()) return;
   std::vector<std::uint8_t> merged;
-  merged.reserve(bytes.size() + other.view_bytes_);
+  merged.reserve(view_bytes_ + other.view_bytes_);
   const std::size_t w = stride_;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -226,8 +238,7 @@ void FlatPermStore::merge_sorted(const FlatPermStore& other) {
     merged.insert(merged.end(), other.view_data_ + j * w,
                   other.view_data_ + other.view_bytes_);
   }
-  bytes = std::move(merged);
-  sync_view();
+  commit_bytes(std::move(merged));
 }
 
 bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
@@ -249,19 +260,35 @@ bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
 
 void FlatPermStore::append(const FlatPermStore& other) {
   QSYN_CHECK(width_ == other.width_, "width mismatch");
-  std::vector<std::uint8_t>& bytes = writable();
-  bytes.insert(bytes.end(), other.view_data_,
-               other.view_data_ + other.view_bytes_);
+  if (vec_ != nullptr) {
+    vec_->insert(vec_->end(), other.view_data_,
+                 other.view_data_ + other.view_bytes_);
+  } else {
+    ensure_writable();
+    storage_->append_bytes(other.view_data_, other.view_bytes_);
+  }
   sync_view();
 }
 
+void FlatPermStore::assign_rows(std::vector<std::uint8_t> bytes) {
+  QSYN_CHECK(bytes.size() % stride_ == 0,
+             "assign_rows requires a whole number of rows");
+  ensure_writable();
+  commit_bytes(std::move(bytes));
+}
+
 void FlatPermStore::clear_keep_capacity() {
-  if (vec_ == nullptr) {
-    clear();
+  if (vec_ != nullptr) {
+    vec_->clear();
+    sync_view();
     return;
   }
-  vec_->clear();
-  sync_view();
+  if (storage_ != nullptr && storage_->writable()) {
+    storage_->replace_bytes({});
+    sync_view();
+    return;
+  }
+  clear();
 }
 
 void FlatPermStore::clear() {
@@ -274,8 +301,15 @@ std::size_t FlatPermStore::memory_bytes() const {
   return storage_ != nullptr ? storage_->memory_bytes() : 0;
 }
 
+std::size_t FlatPermStore::disk_bytes() const {
+  return storage_ != nullptr ? storage_->disk_bytes() : 0;
+}
+
 void FlatPermStore::reserve_rows(std::size_t rows) {
-  writable().reserve(rows * stride_);
+  ensure_writable();
+  if (vec_ != nullptr) vec_->reserve(rows * stride_);
+  // Non-vector writable backends (spill files) grow geometrically on their
+  // own; reserving is a no-op there.
   sync_view();
 }
 

@@ -19,10 +19,14 @@
 // and the ShardedPermStore partition built on top — is label-width agnostic,
 // and the raw bytes are a host-endianness-independent serialization format.
 //
-// Rows live behind a RowStorage backend (synth/row_storage.h). The default
-// VectorRowStorage reproduces the historical in-memory behavior byte for
-// byte; a store wrapped around a read-only backend (e.g. the catalog's
-// MmapRowStorage window) serves every read operation zero-copy and throws
+// Rows live behind a RowStorage backend (synth/row_storage.h; construct
+// backends via synth::StorageSpec). The default VectorRowStorage reproduces
+// the historical in-memory behavior byte for byte and keeps the set-algebra
+// hot loops devirtualized. A store over a writable FileRowStorage keeps its
+// rows in a growable mmap'd file (the spill path — mutations cross the
+// virtual backend API, which the I/O-bound spill sweeps never notice), and a
+// store over a read-only backend (the catalog's MmapRowStorage window, or a
+// sealed FileRowStorage) serves every read operation zero-copy and throws
 // qsyn::LogicError from every mutation.
 #pragma once
 
@@ -46,7 +50,7 @@ class FlatPermStore {
 
   /// Wraps an existing backend (shared: several stores may view disjoint
   /// windows of one mapped catalog). The backend must hold a whole number of
-  /// rows. A backend without mutable_bytes() yields a read-only store.
+  /// rows. A non-writable backend yields a read-only store.
   FlatPermStore(std::size_t width, std::shared_ptr<RowStorage> storage);
 
   /// Copies deep-copy the rows into a fresh writable in-memory backend (a
@@ -59,9 +63,12 @@ class FlatPermStore {
 
   [[nodiscard]] std::size_t width() const { return width_; }
 
-  /// True when the backend rejects mutation (catalog-backed stores). Every
-  /// mutating member below throws qsyn::LogicError on such a store.
-  [[nodiscard]] bool read_only() const { return vec_ == nullptr; }
+  /// True when the backend rejects mutation (catalog-backed windows, sealed
+  /// spill files, moved-from stores). Every mutating member below throws
+  /// qsyn::LogicError on such a store.
+  [[nodiscard]] bool read_only() const {
+    return vec_ == nullptr && (storage_ == nullptr || !storage_->writable());
+  }
 
   /// The storage backend (never null for a live store).
   [[nodiscard]] const std::shared_ptr<RowStorage>& storage() const {
@@ -142,6 +149,11 @@ class FlatPermStore {
   /// Appends every row of `other` as-is (widths must match).
   void append(const FlatPermStore& other);
 
+  /// Replaces the rows wholesale with `bytes` (a whole number of rows in
+  /// this store's encoding). The bulk-commit primitive the spill engine's
+  /// streaming subtract/merge passes use.
+  void assign_rows(std::vector<std::uint8_t> bytes);
+
   /// Removes all rows but keeps the allocation (hot-loop buffer reuse).
   /// On a read-only or moved-from store this degrades to clear().
   void clear_keep_capacity();
@@ -154,11 +166,15 @@ class FlatPermStore {
   /// pages are kernel file cache, not program heap).
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Bytes the backend keeps on disk (0 for in-memory stores).
+  [[nodiscard]] std::size_t disk_bytes() const;
+
   void reserve_rows(std::size_t rows);
 
  private:
   void sync_view();
-  [[nodiscard]] std::vector<std::uint8_t>& writable();
+  void ensure_writable() const;
+  void commit_bytes(std::vector<std::uint8_t> bytes);
 
   std::size_t width_;
   std::size_t label_bytes_;

@@ -8,29 +8,8 @@
 
 namespace qsyn::synth {
 
-namespace {
-
-std::size_t resolve_threads(std::size_t requested) {
-  return requested != 0 ? requested : ThreadPool::default_thread_count();
-}
-
-std::size_t resolve_shards(std::size_t requested, std::size_t threads) {
-  if (requested != 0) {
-    QSYN_CHECK(requested <= 65536, "shard count must be in [1, 65536]");
-    return requested;
-  }
-  if (threads <= 1) return 1;
-  // ~4 shards per worker keeps the per-shard sort/subtract/merge rounds
-  // load-balanced; a power of two keeps the prefix routing even.
-  std::size_t shards = 1;
-  while (shards < 4 * threads && shards < 256) shards <<= 1;
-  return shards;
-}
-
-}  // namespace
-
 FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
-                               FmcfOptions options)
+                               ClosureConfig options)
     : library_(&library),
       options_(options),
       width_(library.domain().size()),
@@ -39,8 +18,12 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
       stride_(width_ * label_bytes_),
       threads_(resolve_threads(options.threads)),
       shards_(resolve_shards(options.shards, threads_)),
+      spill_budget_(resolve_spill_budget(options.spill_budget_bytes)),
+      spill_dir_(spill_budget_ != 0 ? resolve_spill_dir(options.spill_dir)
+                                    : options.spill_dir),
       backwalk_pool_busy_(std::make_unique<std::atomic<bool>>(false)),
-      seen_(library.domain().size(), shards_) {
+      seen_(library.domain().size(), shards_,
+            SpillOptions{spill_budget_, spill_dir_}) {
   init_gate_tables();
 
   // Level 0: the identity.
@@ -56,7 +39,7 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
 }
 
 FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
-                               FmcfOptions options, CatalogTag)
+                               ClosureConfig options, CatalogTag)
     : library_(&library),
       options_(options),
       width_(library.domain().size()),
@@ -65,6 +48,7 @@ FmcfEnumerator::FmcfEnumerator(const gates::GateLibrary& library,
       stride_(width_ * label_bytes_),
       threads_(resolve_threads(options.threads)),
       shards_(resolve_shards(options.shards, threads_)),
+      spill_budget_(0),
       backwalk_pool_busy_(std::make_unique<std::atomic<bool>>(false)),
       // Catalog-backed enumerators never advance(), so the seen-set stays
       // empty; one shard keeps it inert.
@@ -164,7 +148,8 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
              "closure already exhausted (empty frontier)");
 
   const std::size_t gate_count = gate_tables_.size();
-  ShardedPermStore sharded_fresh(width_, shards_);
+  ShardedPermStore sharded_fresh(width_, shards_,
+                                 SpillOptions{spill_budget_, spill_dir_});
 
   if (gate_count > 0 && !previous.empty()) {
     // Worker-local per-shard buffers: phase 1 routes products into
@@ -246,23 +231,30 @@ const FmcfLevelStats& FmcfEnumerator::advance() {
         }
         if (chunk.empty()) return;
         chunk.sort_unique();
-        chunk.subtract_sorted(seen_.shard(s));
-        chunk.subtract_sorted(sharded_fresh.shard(s));
-        sharded_fresh.shard(s).merge_sorted(chunk);
+        // Subtract against the *whole* shard — active rows and any sealed
+        // spill runs — of both the seen-set and this level's accumulator.
+        // Every piece a shard holds therefore stays mutually disjoint, which
+        // keeps sizes exact and the per-level stats spill-invariant.
+        seen_.subtract_shard_from(s, chunk);
+        sharded_fresh.subtract_shard_from(s, chunk);
+        sharded_fresh.merge_into_shard(s, chunk);
         chunk.clear_keep_capacity();
       });
     }
   }
 
-  // sharded_fresh is now B[k], shard-sorted. Update A[k] per shard.
+  // sharded_fresh is now B[k], shard-sorted. Update A[k] per shard (sealed
+  // frontier runs are adopted by reference, not rewritten).
   pool_->run(shards_, [&](std::size_t s, std::size_t) {
-    seen_.shard(s).merge_sorted(sharded_fresh.shard(s));
+    seen_.absorb_shard(s, sharded_fresh);
   });
 
-  // The shard partition is monotone, so flattening yields B[k] globally
-  // sorted — byte-identical to the single-threaded frontier, preserving row
-  // indices for witnesses and the deterministic G-key extraction below.
-  FlatPermStore fresh = sharded_fresh.take_flatten();
+  // The shard partition is monotone, so draining yields B[k] globally
+  // sorted — byte-identical to the single-threaded all-in-RAM frontier,
+  // preserving row indices for witnesses and the deterministic G-key
+  // extraction below. When the level spilled, the frontier comes back as
+  // one sealed spill file mmap'd read-only instead of a heap store.
+  FlatPermStore fresh = sharded_fresh.drain_sorted();
 
   // Extract pre_G[k] and G[k].
   std::vector<GKey> level_keys;
@@ -461,6 +453,12 @@ std::vector<std::size_t> FmcfEnumerator::implementations(
 std::size_t FmcfEnumerator::memory_bytes() const {
   std::size_t total = seen_.memory_bytes();
   for (const FlatPermStore& f : frontiers_) total += f.memory_bytes();
+  return total;
+}
+
+std::size_t FmcfEnumerator::disk_bytes() const {
+  std::size_t total = seen_.disk_bytes();
+  for (const FlatPermStore& f : frontiers_) total += f.disk_bytes();
   return total;
 }
 

@@ -19,7 +19,12 @@
 // parallel: the frontier expansion fans out over a worker pool and the set
 // algebra runs per shard of a lexicographically partitioned store
 // (ShardedPermStore), with results — including every per-level stat —
-// byte-identical to the single-threaded sweep. When the library exhausts its
+// byte-identical to the single-threaded sweep. With a spill budget
+// (ClosureConfig::spill_budget_bytes) the seen-set and frontier stores seal
+// to prefix-compressed run files when RAM runs out and the set algebra
+// continues as streaming merges over the sealed runs — stats and frontier
+// bytes stay identical to the all-in-RAM sweep, which is how the 5-wire
+// closure reaches k >= 3 on bounded memory. When the library exhausts its
 // reachable group below the requested bound the closure saturates:
 // saturated() turns true, and advance()/run_to() become no-ops instead of
 // crashing on the empty frontier.
@@ -37,6 +42,7 @@
 #include "gates/cascade.h"
 #include "gates/library.h"
 #include "perm/permutation.h"
+#include "synth/closure_config.h"
 #include "synth/flat_perm_store.h"
 #include "synth/sharded_perm_store.h"
 
@@ -46,32 +52,10 @@ class ThreadPool;
 
 namespace qsyn::synth {
 
-struct FmcfOptions {
-  /// Keep every level's frontier so witness cascades can be reconstructed
-  /// (the paper's MCE back-walk). Costs memory; disable for pure counting.
-  bool track_witnesses = true;
-
-  /// Honor the banned sets (the paper's "reasonable product"). Turning this
-  /// off is an *ablation only*: the closure then walks unphysical cascades
-  /// whose don't-care semantics do not correspond to quantum circuits.
-  bool use_banned_sets = true;
-
-  /// Candidate-buffer chunk size (rows) for the level expansion; bounds peak
-  /// memory at deep levels.
-  std::size_t chunk_rows = std::size_t(1) << 24;
-
-  /// Worker threads for the level sweep. 0 = the QSYN_THREADS environment
-  /// variable when set to a positive integer, else
-  /// std::thread::hardware_concurrency(). The per-level stats are
-  /// thread-count-invariant (byte-identical to the single-threaded sweep).
-  std::size_t threads = 0;
-
-  /// Shards of the seen-set and per-level stores. 0 = derived from the
-  /// resolved thread count (1 when single-threaded, else ~4x threads rounded
-  /// up to a power of two). A perf/memory knob only: results never depend on
-  /// the shard count.
-  std::size_t shards = 0;
-};
+/// Deprecated alias: the closure's knobs moved to synth/closure_config.h so
+/// threads/shards/chunking and the spill budget live in one place. Old call
+/// sites keep compiling; new code should say ClosureConfig.
+using FmcfOptions = ClosureConfig;
 
 /// Per-level statistics, one entry per computed cost k >= 1.
 struct FmcfLevelStats {
@@ -115,7 +99,7 @@ class FmcfEnumerator {
   /// pack one byte per binary label into 256 bits; the 782-label 5-wire
   /// domain uses the stores' two-byte label rows).
   explicit FmcfEnumerator(const gates::GateLibrary& library,
-                          FmcfOptions options = {});
+                          ClosureConfig options = {});
   ~FmcfEnumerator();
 
   FmcfEnumerator(FmcfEnumerator&&) noexcept;
@@ -156,7 +140,7 @@ class FmcfEnumerator {
   /// files and qsyn::IoError on filesystem failures.
   [[nodiscard]] static FmcfEnumerator open_catalog(
       const std::string& path, const gates::GateLibrary& library,
-      FmcfOptions options = {});
+      ClosureConfig options = {});
 
   /// True for catalog-backed enumerators: every query path (find, g_set,
   /// witness, implementations) works, but advance() throws.
@@ -218,13 +202,17 @@ class FmcfEnumerator {
   /// Approximate heap usage of the stored sets.
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Bytes held in spill files (sealed seen-set runs and file-backed
+  /// frontiers). 0 unless a spill budget is configured and was exceeded.
+  [[nodiscard]] std::size_t disk_bytes() const;
+
   [[nodiscard]] const gates::GateLibrary& library() const { return *library_; }
 
  private:
   /// Tag selecting the catalog-reopen construction path: gate tables are
   /// built, but no level-0 seeding happens (state comes from the file).
   struct CatalogTag {};
-  FmcfEnumerator(const gates::GateLibrary& library, FmcfOptions options,
+  FmcfEnumerator(const gates::GateLibrary& library, ClosureConfig options,
                  CatalogTag tag);
   void init_gate_tables();
 
@@ -237,13 +225,15 @@ class FmcfEnumerator {
   }
 
   const gates::GateLibrary* library_;  // outlives the enumerator
-  FmcfOptions options_;
+  ClosureConfig options_;
   std::size_t width_;          // domain size (38 for 3 wires, 782 for 5)
   std::size_t binary_count_;   // 2^n
   std::size_t label_bytes_;    // bytes per label in store rows (1 or 2)
   std::size_t stride_;         // bytes per row = width_ * label_bytes_
   std::size_t threads_;        // resolved worker count (>= 1)
   std::size_t shards_;         // resolved shard count (>= 1)
+  std::size_t spill_budget_;   // resolved bytes per sharded store; 0 = never
+  std::string spill_dir_;      // resolved spill directory
   std::unique_ptr<ThreadPool> pool_;  // created lazily by advance()
   // True while a witness back-walk owns the pool (ThreadPool::run is not
   // reentrant); contending const callers degrade to the serial scan.

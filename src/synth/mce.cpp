@@ -10,9 +10,9 @@ namespace qsyn::synth {
 
 namespace {
 
-FmcfOptions with_witnesses(FmcfOptions options) {
-  options.track_witnesses = true;  // MCE reconstructs cascades
-  return options;
+ClosureConfig with_witnesses(ClosureConfig config) {
+  config.track_witnesses = true;  // MCE reconstructs cascades
+  return config;
 }
 
 }  // namespace
@@ -47,10 +47,10 @@ NotStripped strip_not_prefix(std::size_t wires,
 }
 
 McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost,
-                         FmcfOptions fmcf_options)
+                         ClosureConfig config)
     : library_(&library),
       max_cost_(max_cost),
-      fmcf_(library, with_witnesses(fmcf_options)) {}
+      fmcf_(library, with_witnesses(config)) {}
 
 McExpressor::McExpressor(FmcfEnumerator enumerator, unsigned max_cost)
     : library_(&enumerator.library()),

@@ -53,11 +53,11 @@ struct NotStripped {
 /// across calls, deepening it on demand up to `max_cost` (the paper's cb).
 class McExpressor {
  public:
-  /// `fmcf_options` configures the underlying closure (thread count,
-  /// witness tracking, chunking); witness tracking is always forced on,
-  /// since MCE exists to reconstruct cascades.
+  /// `config` configures the underlying closure (thread count, witness
+  /// tracking, chunking, spill budget — see synth/closure_config.h); witness
+  /// tracking is always forced on, since MCE exists to reconstruct cascades.
   explicit McExpressor(const gates::GateLibrary& library, unsigned max_cost = 7,
-                       FmcfOptions fmcf_options = {});
+                       ClosureConfig config = {});
 
   /// Wraps an existing enumerator — typically one reopened from a persistent
   /// catalog — without recomputing anything. `max_cost` 0 means "whatever the
@@ -82,7 +82,7 @@ class McExpressor {
   /// Exhaustively counts the *gate sequences* of length exactly `cost` that
   /// realize the target (reasonable cascades only; NOT prefix excluded).
   /// Exponential in `cost`; guarded to cost <= max_cost(). With more than
-  /// one worker (FmcfOptions::threads / QSYN_THREADS) the DFS fans its
+  /// one worker (ClosureConfig::threads / QSYN_THREADS) the DFS fans its
   /// depth-2 subtrees out across a thread pool; the subtrees partition the
   /// serial walk, so the count is thread-count invariant.
   [[nodiscard]] std::size_t count_sequences(const perm::Permutation& target,

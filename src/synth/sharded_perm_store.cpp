@@ -1,22 +1,81 @@
 #include "synth/sharded_perm_store.h"
 
+#include <atomic>
 #include <utility>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "common/error.h"
+#include "synth/closure_config.h"
+#include "synth/row_storage.h"
 
 namespace qsyn::synth {
 
+namespace {
+
+// Spill files are per-process temporaries: pid plus a process-wide counter
+// keeps concurrent closures (and concurrent shards within one closure) from
+// colliding without any coordination.
+std::string next_spill_path(const std::string& dir) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+#ifdef _WIN32
+  const long pid = static_cast<long>(_getpid());
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  return dir + "/qsyn-spill-" + std::to_string(pid) + "-" +
+         std::to_string(id) + ".run";
+}
+
+// drain_sorted() streams merged rows to its spill file in slabs of this many
+// bytes, so the k-way merge's heap cost is one slab regardless of row count.
+constexpr std::size_t kDrainFlushBytes = std::size_t(4) << 20;
+
+}  // namespace
+
 ShardedPermStore::ShardedPermStore(std::size_t width, std::size_t shard_count)
-    : width_(width), label_bytes_(width <= 256 ? 1 : 2) {
+    : ShardedPermStore(width, shard_count, SpillOptions{}) {}
+
+ShardedPermStore::ShardedPermStore(std::size_t width, std::size_t shard_count,
+                                   SpillOptions spill)
+    : width_(width),
+      label_bytes_(width <= 256 ? 1 : 2),
+      spill_(std::move(spill)) {
   QSYN_CHECK(shard_count >= 1 && shard_count <= 65536,
              "shard count must be in [1, 65536]");
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) shards_.emplace_back(width);
+  runs_.resize(shard_count);
+  if (spill_.budget_bytes > 0) {
+    if (spill_.dir.empty()) spill_.dir = resolve_spill_dir(spill_.dir);
+    shard_budget_ = std::max<std::size_t>(1, spill_.budget_bytes / shard_count);
+  }
 }
 
 std::size_t ShardedPermStore::size() const {
   std::size_t total = 0;
   for (const FlatPermStore& s : shards_) total += s.size();
+  for (const auto& shard_runs : runs_) {
+    for (const auto& run : shard_runs) total += run->rows();
+  }
+  return total;
+}
+
+bool ShardedPermStore::spilled() const {
+  for (const auto& shard_runs : runs_) {
+    if (!shard_runs.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t ShardedPermStore::run_count() const {
+  std::size_t total = 0;
+  for (const auto& shard_runs : runs_) total += shard_runs.size();
   return total;
 }
 
@@ -30,12 +89,18 @@ void ShardedPermStore::push_back(const perm::Permutation& p) {
 }
 
 void ShardedPermStore::sort_unique() {
+  QSYN_CHECK(!spilled(),
+             "sort_unique on a spilled ShardedPermStore: sealed runs are "
+             "already sorted and immutable");
   for (FlatPermStore& s : shards_) s.sort_unique();
 }
 
 void ShardedPermStore::subtract_sorted(const ShardedPermStore& other) {
   QSYN_CHECK(width_ == other.width_ && shard_count() == other.shard_count(),
              "sharded store layout mismatch");
+  QSYN_CHECK(!spilled() && !other.spilled(),
+             "whole-store subtract_sorted requires spill-free stores; use "
+             "subtract_shard_from per shard");
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].subtract_sorted(other.shards_[s]);
   }
@@ -44,44 +109,181 @@ void ShardedPermStore::subtract_sorted(const ShardedPermStore& other) {
 void ShardedPermStore::merge_sorted(const ShardedPermStore& other) {
   QSYN_CHECK(width_ == other.width_ && shard_count() == other.shard_count(),
              "sharded store layout mismatch");
+  QSYN_CHECK(!spilled() && !other.spilled(),
+             "whole-store merge_sorted requires spill-free stores; use "
+             "absorb_shard per shard");
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].merge_sorted(other.shards_[s]);
   }
 }
 
+void ShardedPermStore::subtract_shard_from(std::size_t s,
+                                           FlatPermStore& rows) const {
+  rows.subtract_sorted(shards_[s]);
+  for (const auto& run : runs_[s]) {
+    if (rows.empty()) break;
+    run->subtract_from(rows);
+  }
+}
+
+void ShardedPermStore::merge_into_shard(std::size_t s,
+                                        const FlatPermStore& rows) {
+  shards_[s].merge_sorted(rows);
+  maybe_seal(s);
+}
+
+void ShardedPermStore::absorb_shard(std::size_t s,
+                                    const ShardedPermStore& other) {
+  QSYN_CHECK(width_ == other.width_ && shard_count() == other.shard_count(),
+             "sharded store layout mismatch");
+  shards_[s].merge_sorted(other.shards_[s]);
+  for (const auto& run : other.runs_[s]) runs_[s].push_back(run);
+  maybe_seal(s);
+}
+
+void ShardedPermStore::maybe_seal(std::size_t s) {
+  if (shard_budget_ == 0 || shards_[s].empty()) return;
+  if (shards_[s].memory_bytes() <= shard_budget_) return;
+  runs_[s].push_back(SealedRun::write(next_spill_path(spill_.dir), shards_[s],
+                                      /*keep_file=*/false));
+  shards_[s].clear();
+}
+
 bool ShardedPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
-  return shards_[shard_of(row_bytes)].contains_sorted(row_bytes);
+  const std::size_t s = shard_of(row_bytes);
+  if (shards_[s].contains_sorted(row_bytes)) return true;
+  for (const auto& run : runs_[s]) {
+    if (run->contains_sorted(row_bytes)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Linear min-scan k-way merge over one shard: the active store plus its
+// sealed runs, all sorted and mutually disjoint. Run fan-in per shard is
+// small (budget trips are rare within a level), so a heap would be overkill.
+template <typename Emit>
+void merge_shard_rows(const FlatPermStore& active,
+                      const std::vector<std::shared_ptr<const SealedRun>>& runs,
+                      std::size_t stride, Emit&& emit) {
+  struct RunCursor {
+    const SealedRun* run;
+    std::size_t i;
+    std::vector<std::uint8_t> head;  // materialized run row i
+  };
+  std::vector<RunCursor> cursors;
+  cursors.reserve(runs.size());
+  for (const auto& run : runs) {
+    if (run->rows() == 0) continue;
+    RunCursor c{run.get(), 0, std::vector<std::uint8_t>(stride)};
+    c.run->materialize(0, c.head.data());
+    cursors.push_back(std::move(c));
+  }
+
+  std::size_t ai = 0;
+  const std::size_t an = active.size();
+  while (true) {
+    const std::uint8_t* best = ai < an ? active.row(ai) : nullptr;
+    std::size_t best_cursor = cursors.size();  // sentinel: active wins
+    for (std::size_t c = 0; c < cursors.size(); ++c) {
+      const std::uint8_t* head = cursors[c].head.data();
+      if (best == nullptr || std::memcmp(head, best, stride) < 0) {
+        best = head;
+        best_cursor = c;
+      }
+    }
+    if (best == nullptr) break;
+    emit(best);
+    if (best_cursor == cursors.size()) {
+      ++ai;
+    } else {
+      RunCursor& c = cursors[best_cursor];
+      if (++c.i == c.run->rows()) {
+        cursors.erase(cursors.begin() +
+                      static_cast<std::ptrdiff_t>(best_cursor));
+      } else {
+        c.run->materialize(c.i, c.head.data());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ShardedPermStore::merge_shard_append(std::size_t s,
+                                          FlatPermStore& out) const {
+  if (runs_[s].empty()) {
+    out.append(shards_[s]);
+    return;
+  }
+  merge_shard_rows(shards_[s], runs_[s], shards_[s].row_stride(),
+                   [&out](const std::uint8_t* row) { out.push_back(row); });
 }
 
 FlatPermStore ShardedPermStore::flatten() const {
   FlatPermStore out(width_);
   out.reserve_rows(size());
-  for (const FlatPermStore& s : shards_) out.append(s);
+  for (std::size_t s = 0; s < shards_.size(); ++s) merge_shard_append(s, out);
   return out;
 }
 
-FlatPermStore ShardedPermStore::take_flatten() {
-  if (shards_.size() == 1) {
-    FlatPermStore out = std::move(shards_[0]);
-    shards_[0].clear();
+FlatPermStore ShardedPermStore::drain_sorted() {
+  if (!spilled()) {
+    if (shards_.size() == 1) {
+      FlatPermStore out = std::move(shards_[0]);
+      shards_[0].clear();
+      return out;
+    }
+    FlatPermStore out(width_);
+    out.reserve_rows(size());
+    for (FlatPermStore& s : shards_) {
+      out.append(s);
+      s.clear();
+    }
     return out;
   }
-  FlatPermStore out(width_);
-  out.reserve_rows(size());
-  for (FlatPermStore& s : shards_) {
-    out.append(s);
-    s.clear();
+
+  // Spilled: stream the per-shard merges into one sealed spill file and hand
+  // it back mmap'd read-only — the frontier never materializes on the heap.
+  auto file = std::make_shared<FileRowStorage>(
+      next_spill_path(spill_.dir) + ".drain", /*keep_file=*/false);
+  const std::size_t stride = shards_.empty() ? 0 : shards_[0].row_stride();
+  std::vector<std::uint8_t> slab;
+  slab.reserve(kDrainFlushBytes + stride);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    merge_shard_rows(shards_[s], runs_[s], stride,
+                     [&](const std::uint8_t* row) {
+                       slab.insert(slab.end(), row, row + stride);
+                       if (slab.size() >= kDrainFlushBytes) {
+                         file->append_bytes(slab.data(), slab.size());
+                         slab.clear();
+                       }
+                     });
+    shards_[s].clear();
+    runs_[s].clear();
   }
-  return out;
+  if (!slab.empty()) file->append_bytes(slab.data(), slab.size());
+  file->seal();
+  return FlatPermStore(width_, std::move(file));
 }
 
 void ShardedPermStore::clear() {
   for (FlatPermStore& s : shards_) s.clear();
+  for (auto& shard_runs : runs_) shard_runs.clear();
 }
 
 std::size_t ShardedPermStore::memory_bytes() const {
   std::size_t total = 0;
   for (const FlatPermStore& s : shards_) total += s.memory_bytes();
+  return total;
+}
+
+std::size_t ShardedPermStore::disk_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard_runs : runs_) {
+    for (const auto& run : shard_runs) total += run->disk_bytes();
+  }
   return total;
 }
 

@@ -7,33 +7,60 @@
 // 255, and a raw byte prefix would park every row in the first few shards.
 // The shard index is monotone in the rows' lexicographic order: shard 0
 // owns the smallest rows, the last shard the largest, and concatenating
-// sorted shards in shard order yields a globally sorted store (flatten()).
+// sorted shards in shard order yields a globally sorted store.
 // Because shards own disjoint ranges, the set algebra of FlatPermStore
 // (sort/unique/subtract/merge) decomposes into independent per-shard calls —
 // this is what the multi-threaded FMCF closure parallelizes over.
 //
-// Each shard is an ordinary FlatPermStore, so shards inherit the RowStorage
-// backend seam (synth/row_storage.h): a sharded store built for a level
-// sweep uses writable in-memory shards, while the monotone partition means
-// a flatten()ed store can later be served read-only (e.g. mmap'd from a
-// catalog) with shard boundaries recoverable from shard_of() alone — the
-// seam the planned out-of-core n >= 5 frontier spills through.
+// Spill-to-disk mode (SpillOptions): give the store a heap budget and a
+// directory, and each shard seals its sorted in-memory rows into a
+// prefix-compressed SealedRun file (synth/spill.h) whenever a merge pushes
+// the shard past its slice of the budget. A spilled shard is then the union
+// of one writable in-memory "active" store and a list of immutable sorted
+// runs — mutually disjoint by construction, because the closure's per-shard
+// primitives below subtract incoming rows against the whole shard (active
+// plus every run) before merging. Disjointness makes sizes exact, so the
+// FMCF per-level stats are byte-identical with and without spilling; the
+// monotone partition makes drain_sorted()'s per-shard k-way merges
+// concatenate into a globally sorted result, so frontier bytes are
+// byte-identical too. With a zero budget (the default) nothing ever spills
+// and the store behaves exactly as before.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "synth/flat_perm_store.h"
+#include "synth/spill.h"
 
 namespace qsyn::synth {
 
-/// `shard_count` sorted FlatPermStores over disjoint key ranges.
+/// Spill policy for a ShardedPermStore.
+struct SpillOptions {
+  /// Heap budget in bytes across all shards; each shard seals to disk when
+  /// its in-memory rows exceed budget_bytes / shard_count. 0 = never spill.
+  std::size_t budget_bytes = 0;
+
+  /// Directory for run files. Must be non-empty when budget_bytes > 0 (the
+  /// closure resolves it via resolve_spill_dir); an unusable directory
+  /// surfaces as qsyn::IoError at the first seal.
+  std::string dir;
+};
+
+/// `shard_count` sorted FlatPermStores over disjoint key ranges, each
+/// optionally backed by sealed on-disk runs.
 class ShardedPermStore {
  public:
   /// `width` as in FlatPermStore; `shard_count` in [1, 65536].
   ShardedPermStore(std::size_t width, std::size_t shard_count);
+
+  /// Same, with a spill policy.
+  ShardedPermStore(std::size_t width, std::size_t shard_count,
+                   SpillOptions spill);
 
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -55,53 +82,111 @@ class ShardedPermStore {
     return (b0 * width_ + b1) * shards_.size() / (width_ * width_);
   }
 
+  /// The in-memory ("active") rows of shard `s`. On a spilled store this is
+  /// only part of the shard — the sealed runs are not visible here; prefer
+  /// the per-shard primitives below, which see the whole shard.
   [[nodiscard]] FlatPermStore& shard(std::size_t s) { return shards_[s]; }
   [[nodiscard]] const FlatPermStore& shard(std::size_t s) const {
     return shards_[s];
   }
 
-  /// Total rows across all shards.
+  /// Total rows across all shards, sealed runs included (exact: the pieces
+  /// are disjoint).
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }
 
-  /// Routes one row to its owning shard.
+  /// True when any shard currently holds sealed runs.
+  [[nodiscard]] bool spilled() const;
+
+  /// Total sealed runs across all shards.
+  [[nodiscard]] std::size_t run_count() const;
+
+  /// Routes one row to its owning shard's active store (never seals; bulk
+  /// loads go through merge_into_shard for that).
   void push_back(const std::uint8_t* row_bytes);
   void push_back(const perm::Permutation& p);
 
   /// Per-shard sort_unique (shards are independent; callers may instead
-  /// invoke shard(s).sort_unique() from worker threads).
+  /// invoke shard(s).sort_unique() from worker threads). Rejected with
+  /// qsyn::LogicError once runs exist: sealed rows are already sorted and
+  /// must not be re-ordered against unsorted active rows.
   void sort_unique();
 
   /// Shard-wise set difference / union; `other` must have the same width
-  /// and shard count, and both stores must be shard-sorted.
+  /// and shard count, and both stores must be shard-sorted. These legacy
+  /// whole-store forms require both stores spill-free (qsyn::LogicError
+  /// otherwise); the closure uses the per-shard primitives below instead.
   void subtract_sorted(const ShardedPermStore& other);
   void merge_sorted(const ShardedPermStore& other);
 
-  /// Binary search in the owning shard (store must be shard-sorted).
+  /// Removes from `rows` (sorted, writable) every row present in shard `s` —
+  /// active store and every sealed run. The closure's membership filter.
+  void subtract_shard_from(std::size_t s, FlatPermStore& rows) const;
+
+  /// Merges `rows` (sorted, disjoint from shard `s` — i.e. already passed
+  /// through subtract_shard_from) into shard `s`'s active store, then seals
+  /// the active store to a new run if it exceeds the shard's budget slice.
+  void merge_into_shard(std::size_t s, const FlatPermStore& rows);
+
+  /// Merges shard `s` of `other` — active rows and sealed runs — into shard
+  /// `s` of this store. The shard contents must be disjoint (the closure
+  /// guarantees this: fresh rows were subtracted against the seen set before
+  /// accumulating). Runs are adopted by reference; `other` keeps serving
+  /// them until cleared.
+  void absorb_shard(std::size_t s, const ShardedPermStore& other);
+
+  /// Binary search in the owning shard — active store and sealed runs (store
+  /// must be shard-sorted).
   [[nodiscard]] bool contains_sorted(const std::uint8_t* row_bytes) const;
 
-  /// Concatenates the shards in shard order. When every shard is sorted the
-  /// result is globally sorted (the partition is monotone).
+  /// Non-destructive flatten: merges the shards (and their sealed runs) in
+  /// shard order into a fresh writable in-memory store. When every shard is
+  /// sorted the result is globally sorted (the partition is monotone). On a
+  /// spilled store this materializes every on-disk row in RAM — use
+  /// drain_sorted() when the store is no longer needed.
   [[nodiscard]] FlatPermStore flatten() const;
 
-  /// Like flatten(), but destructive: a lone shard is moved out without a
-  /// copy; otherwise each shard is released right after it is copied into
-  /// the preallocated result, so resident memory stays near one store's
-  /// worth of rows (the result's pages are touched only as shards drain)
-  /// instead of holding source and result fully populated at once. Leaves
-  /// this store empty.
-  [[nodiscard]] FlatPermStore take_flatten();
+  /// Destructive flatten — the one contract for both in-memory and spilled
+  /// stores: returns the globally sorted rows and leaves this store empty.
+  /// The backing of the result is an implementation detail and callers must
+  /// treat it as read-only:
+  ///   - lone in-memory shard: the shard's storage is moved out, no copy;
+  ///   - several in-memory shards: shards are copied into a preallocated
+  ///     writable store and released one by one, so resident memory stays
+  ///     near one store's worth of rows;
+  ///   - spilled: each shard's active rows and runs are k-way merged and
+  ///     streamed into one sealed spill file, and the result is that file
+  ///     mmap'd read-only (heap cost: one I/O buffer). The file lives as
+  ///     long as the returned store's backend.
+  /// Row bytes and order are identical in every mode.
+  [[nodiscard]] FlatPermStore drain_sorted();
 
-  /// Releases all memory.
+  /// Deprecated: renamed drain_sorted() (same contract). The old name read
+  /// as a variant of flatten() but the two differed in destructiveness and
+  /// aliasing; this shim keeps old call sites compiling.
+  [[nodiscard]] FlatPermStore take_flatten() { return drain_sorted(); }
+
+  /// Releases all memory and deletes this store's temporary run files (runs
+  /// adopted elsewhere via absorb_shard survive until every owner drops
+  /// them).
   void clear();
 
-  /// Bytes of heap memory currently held.
+  /// Bytes of heap memory currently held (active stores only).
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Bytes held in sealed run files on disk.
+  [[nodiscard]] std::size_t disk_bytes() const;
+
  private:
+  void maybe_seal(std::size_t s);
+  void merge_shard_append(std::size_t s, FlatPermStore& out) const;
+
   std::size_t width_;
   std::size_t label_bytes_;  // mirrors the shards' FlatPermStore encoding
   std::vector<FlatPermStore> shards_;
+  std::vector<std::vector<std::shared_ptr<const SealedRun>>> runs_;
+  SpillOptions spill_;
+  std::size_t shard_budget_ = 0;  // bytes; 0 = never seal
 };
 
 }  // namespace qsyn::synth

@@ -1,0 +1,185 @@
+#include "synth/spill.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "synth/catalog.h"
+#include "synth/row_storage.h"
+
+namespace qsyn::synth {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& path, const std::string& what) {
+  throw CatalogError("invalid sealed run '" + path + "': " + what);
+}
+
+}  // namespace
+
+std::shared_ptr<const SealedRun> SealedRun::write(const std::string& path,
+                                                  const FlatPermStore& rows,
+                                                  bool keep_file) {
+  QSYN_CHECK(!rows.empty(), "SealedRun::write: refusing to seal an empty run");
+  const std::size_t stride = rows.row_stride();
+  const std::size_t count = rows.size();
+
+  // The shared prefix of a sorted range is the longest common prefix of its
+  // first and last row — every row in between sorts inside that bracket.
+  const std::uint8_t* first = rows.row(0);
+  const std::uint8_t* last = rows.row(count - 1);
+  std::size_t prefix = 0;
+  while (prefix < stride && first[prefix] == last[prefix]) ++prefix;
+
+  std::vector<std::uint8_t> header;
+  header.reserve(spill::kRunHeaderBytes + prefix);
+  header.insert(header.end(), spill::kRunMagic, spill::kRunMagic + 8);
+  catalog::put_u32(header, spill::kRunVersion);
+  catalog::put_u32(header, static_cast<std::uint32_t>(rows.width()));
+  catalog::put_u32(header, static_cast<std::uint32_t>(rows.label_bytes()));
+  catalog::put_u32(header, static_cast<std::uint32_t>(prefix));
+  catalog::put_u64(header, count);
+  header.insert(header.end(), first, first + prefix);
+
+  {
+    // Written through the growable-mmap backend so the bytes never take a
+    // round trip through a second heap buffer; seal() msync+fsyncs them.
+    FileRowStorage out(path, /*keep_file=*/true);
+    out.append_bytes(header.data(), header.size());
+    const std::size_t suffix = stride - prefix;
+    if (suffix > 0) {
+      for (std::size_t i = 0; i < count; ++i) {
+        out.append_bytes(rows.row(i) + prefix, suffix);
+      }
+    }
+    out.seal();
+  }
+
+  return open_internal(path, rows.width(), keep_file);
+}
+
+std::shared_ptr<const SealedRun> SealedRun::open(const std::string& path,
+                                                 std::size_t width) {
+  return open_internal(path, width, /*keep_file=*/true);
+}
+
+std::shared_ptr<const SealedRun> SealedRun::open_internal(
+    const std::string& path, std::size_t width, bool keep_file) {
+  std::shared_ptr<const io::MmapFile> file = io::MmapFile::map(path);
+  return std::shared_ptr<const SealedRun>(
+      new SealedRun(std::move(file), width, keep_file));
+}
+
+SealedRun::SealedRun(std::shared_ptr<const io::MmapFile> file,
+                     std::size_t width, bool keep_file)
+    : file_(std::move(file)), keep_file_(keep_file) {
+  const std::string& path = file_->path();
+  const std::uint8_t* bytes = file_->data();
+  const std::size_t total = file_->size();
+
+  if (total < spill::kRunHeaderBytes) {
+    malformed(path, "truncated sealed run: " + std::to_string(total) +
+                        " bytes, header needs " +
+                        std::to_string(spill::kRunHeaderBytes));
+  }
+  if (std::memcmp(bytes, spill::kRunMagic, 8) != 0) {
+    malformed(path, "bad magic (not a qsyn sealed run)");
+  }
+  const std::uint32_t version = catalog::get_u32(bytes + 8);
+  if (version != spill::kRunVersion) {
+    malformed(path, "unsupported run version " + std::to_string(version) +
+                        " (expected " + std::to_string(spill::kRunVersion) +
+                        ")");
+  }
+  width_ = catalog::get_u32(bytes + 12);
+  if (width_ != width) {
+    malformed(path, "run built for width " + std::to_string(width_) +
+                        ", store expects width " + std::to_string(width));
+  }
+  const std::size_t expect_label_bytes = width_ <= 256 ? 1 : 2;
+  const std::uint32_t label_bytes = catalog::get_u32(bytes + 16);
+  if (label_bytes != expect_label_bytes) {
+    malformed(path, "label_bytes " + std::to_string(label_bytes) +
+                        " does not match width " + std::to_string(width_));
+  }
+  stride_ = width_ * expect_label_bytes;
+  prefix_bytes_ = catalog::get_u32(bytes + 20);
+  if (prefix_bytes_ > stride_) {
+    malformed(path, "prefix_bytes " + std::to_string(prefix_bytes_) +
+                        " exceeds row stride " + std::to_string(stride_));
+  }
+  rows_ = catalog::get_u64(bytes + 24);
+  suffix_stride_ = stride_ - prefix_bytes_;
+
+  const std::size_t expected =
+      spill::kRunHeaderBytes + prefix_bytes_ + rows_ * suffix_stride_;
+  if (total < expected) {
+    malformed(path, "truncated sealed run: " + std::to_string(total) +
+                        " bytes, layout needs " + std::to_string(expected));
+  }
+  if (total > expected) {
+    malformed(path, std::to_string(total - expected) +
+                        " trailing bytes after the last row");
+  }
+
+  prefix_ = bytes + spill::kRunHeaderBytes;
+  suffix_base_ = prefix_ + prefix_bytes_;
+}
+
+SealedRun::~SealedRun() {
+  if (!keep_file_) {
+    const std::string path = file_->path();
+    file_.reset();  // drop the mapping before unlinking
+    std::remove(path.c_str());
+  }
+}
+
+bool SealedRun::contains_sorted(const std::uint8_t* row_bytes) const {
+  std::size_t lo = 0;
+  std::size_t hi = rows_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int c = compare(row_bytes, mid);
+    if (c == 0) return true;
+    if (c < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return false;
+}
+
+void SealedRun::subtract_from(FlatPermStore& store) const {
+  QSYN_CHECK(store.row_stride() == stride_,
+             "SealedRun::subtract_from: row stride mismatch");
+  if (store.empty() || rows_ == 0) return;
+
+  const std::uint8_t* data = store.data();
+  const std::size_t n = store.size();
+  std::vector<std::uint8_t> kept;
+  kept.reserve(store.size_bytes());
+
+  std::size_t i = 0;  // store cursor
+  std::size_t j = 0;  // run cursor
+  while (i < n) {
+    if (j == rows_) {
+      kept.insert(kept.end(), data + i * stride_, data + n * stride_);
+      break;
+    }
+    const int c = compare(data + i * stride_, j);
+    if (c < 0) {
+      kept.insert(kept.end(), data + i * stride_, data + (i + 1) * stride_);
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      ++i;  // present in the run: drop
+      ++j;
+    }
+  }
+  store.assign_rows(std::move(kept));
+}
+
+}  // namespace qsyn::synth
