@@ -1,0 +1,42 @@
+# Script-mode check (ctest: deprecated_names_absent) that deleted
+# transitional names never reappear in the tree. A namespace-scope alias
+# like `FmcfOptions` cannot be probed with SFINAE the way a member can, so
+# this textual scan backs up the static_asserts in tests/test_deprecation.cpp
+# — which is the one file allowed to spell the old names (it documents them).
+#
+# Usage: cmake -DQSYN_SOURCE_DIR=<repo root> -P CheckDeprecatedNames.cmake
+if(NOT DEFINED QSYN_SOURCE_DIR)
+  message(FATAL_ERROR "pass -DQSYN_SOURCE_DIR=<repo root>")
+endif()
+
+set(deprecated_names "FmcfOptions" "take_flatten")
+
+file(GLOB_RECURSE sources RELATIVE "${QSYN_SOURCE_DIR}"
+  "${QSYN_SOURCE_DIR}/src/*.h"
+  "${QSYN_SOURCE_DIR}/src/*.cpp"
+  "${QSYN_SOURCE_DIR}/tests/*.cpp"
+  "${QSYN_SOURCE_DIR}/bench/*.h"
+  "${QSYN_SOURCE_DIR}/bench/*.cpp"
+  "${QSYN_SOURCE_DIR}/examples/*.cpp")
+
+set(violations "")
+foreach(source IN LISTS sources)
+  if(source STREQUAL "tests/test_deprecation.cpp")
+    continue()
+  endif()
+  file(READ "${QSYN_SOURCE_DIR}/${source}" content)
+  foreach(name IN LISTS deprecated_names)
+    string(FIND "${content}" "${name}" position)
+    if(NOT position EQUAL -1)
+      list(APPEND violations "${source}: ${name}")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " pretty)
+  message(FATAL_ERROR
+    "deleted transitional names resurfaced (use ClosureConfig / "
+    "drain_sorted instead):\n  ${pretty}")
+endif()
+message(STATUS "no deprecated names in the tree")

@@ -30,6 +30,11 @@
 # the gigabyte-scale level 4; its "spill engaged" stdout line turns into a
 # DIFFERS failure if the run ever stops spilling.
 #
+# bench_backends races the three SynthesisBackend engines on time to first
+# cascade (fresh closure sweep vs catalog open vs topology-search DFS) and
+# carries the beyond-closure row (bm_search_5wire_cost4: a 5-wire cost-4
+# target answered in-memory where the closure would need a ~2.5 GiB spill).
+#
 # bench_catalog measures the persistent-catalog serving layer:
 # bm_catalog_cold_start (open + first locate on a saved cb=7 catalog — the
 # number that replaces the multi-hundred-ms closure sweep), bm_catalog_locate

@@ -1,0 +1,65 @@
+#include "synth/backend.h"
+
+#include <utility>
+
+namespace qsyn::synth {
+
+SynthesisBackend::~SynthesisBackend() = default;
+
+std::vector<std::optional<SynthesisResult>> SynthesisBackend::synthesize_batch(
+    const std::vector<perm::Permutation>& targets) {
+  std::vector<std::optional<SynthesisResult>> answers;
+  answers.reserve(targets.size());
+  for (const perm::Permutation& target : targets) {
+    answers.push_back(synthesize(target));
+  }
+  return answers;
+}
+
+ClosureBackend::ClosureBackend(const gates::GateLibrary& library,
+                               unsigned max_cost, ClosureConfig config)
+    : mce_(library, max_cost, std::move(config)) {}
+
+ClosureBackend::ClosureBackend(FmcfEnumerator enumerator, unsigned max_cost)
+    : mce_(std::move(enumerator), max_cost) {}
+
+ClosureBackend::ClosureBackend(McExpressor expressor)
+    : mce_(std::move(expressor)) {}
+
+const gates::GateLibrary& ClosureBackend::library() const {
+  return mce_.enumerator().library();
+}
+
+unsigned ClosureBackend::max_cost() const { return mce_.max_cost(); }
+
+BackendInfo ClosureBackend::info() const {
+  BackendInfo info;
+  info.name = "closure";
+  info.exact = true;
+  // Catalog-backed enumerators are frozen at their saved depth; a live
+  // closure deepens level by level on a miss.
+  info.deepens_on_miss = !mce_.enumerator().read_only();
+  info.enumerates_implementations = true;
+  info.max_cost = mce_.max_cost();
+  info.library_fingerprint = library().fingerprint();
+  info.domain_fingerprint = library().domain().fingerprint();
+  return info;
+}
+
+std::optional<BackendAnswer> ClosureBackend::locate(
+    const perm::Permutation& target) {
+  const auto cost = mce_.minimal_cost(target);
+  if (!cost.has_value()) return std::nullopt;
+  BackendAnswer answer;
+  answer.cost = *cost;
+  answer.not_prefix = std::move(
+      strip_not_prefix(library().domain().wires(), target).not_prefix);
+  return answer;
+}
+
+std::optional<SynthesisResult> ClosureBackend::synthesize(
+    const perm::Permutation& target) {
+  return mce_.synthesize(target);
+}
+
+}  // namespace qsyn::synth

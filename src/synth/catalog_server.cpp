@@ -18,6 +18,64 @@ std::uint64_t witness_key(unsigned cost, std::size_t row) {
 
 }  // namespace
 
+/// The seam adapter behind CatalogServer::as_backend(): stored-answer
+/// serving (plus the server's fallback) as a SynthesisBackend.
+class CatalogBackend final : public SynthesisBackend {
+ public:
+  explicit CatalogBackend(CatalogServer& server) : server_(&server) {}
+
+  [[nodiscard]] const gates::GateLibrary& library() const override {
+    return server_->enumerator().library();
+  }
+
+  [[nodiscard]] unsigned max_cost() const override {
+    return server_->enumerator().levels_done();
+  }
+
+  [[nodiscard]] BackendInfo info() const override {
+    BackendInfo info;
+    info.name = "catalog";
+    info.exact = true;
+    // The catalog itself never deepens; a plugged-in fallback does fresh
+    // work on a miss on the server's behalf.
+    info.deepens_on_miss = server_->has_fallback();
+    info.enumerates_implementations = true;
+    info.max_cost = max_cost();
+    info.library_fingerprint = library().fingerprint();
+    info.domain_fingerprint = library().domain().fingerprint();
+    return info;
+  }
+
+  [[nodiscard]] std::optional<BackendAnswer> locate(
+      const perm::Permutation& target) override {
+    if (const auto entry = server_->locate(target); entry.has_value()) {
+      BackendAnswer answer;
+      answer.cost = entry->cost;
+      answer.not_prefix = entry->not_prefix;
+      return answer;
+    }
+    const auto result = server_->fallback_synthesize(target);
+    if (!result.has_value()) return std::nullopt;
+    BackendAnswer answer;
+    answer.cost = result->cost;
+    answer.not_prefix = result->not_prefix;
+    return answer;
+  }
+
+  [[nodiscard]] std::optional<SynthesisResult> synthesize(
+      const perm::Permutation& target) override {
+    return server_->synthesize(target);
+  }
+
+  [[nodiscard]] std::vector<std::optional<SynthesisResult>> synthesize_batch(
+      const std::vector<perm::Permutation>& targets) override {
+    return server_->synthesize_batch(targets);
+  }
+
+ private:
+  CatalogServer* server_;  // outlives the adapter (documented contract)
+};
+
 CatalogServer::CatalogServer(FmcfEnumerator enumerator,
                              CatalogServerOptions options)
     : fmcf_(std::move(enumerator)),
@@ -30,6 +88,34 @@ CatalogServer CatalogServer::open(const std::string& path,
                                   const gates::GateLibrary& library,
                                   CatalogServerOptions options) {
   return CatalogServer(FmcfEnumerator::open_catalog(path, library), options);
+}
+
+void CatalogServer::set_fallback(std::shared_ptr<SynthesisBackend> fallback) {
+  if (fallback != nullptr) {
+    const BackendInfo info = fallback->info();
+    QSYN_CHECK(info.library_fingerprint == fmcf_.library().fingerprint() &&
+                   info.domain_fingerprint ==
+                       fmcf_.library().domain().fingerprint(),
+               "fallback backend serves a different library than the catalog");
+  }
+  std::lock_guard guard(fallback_mutex_);
+  fallback_ = std::move(fallback);
+}
+
+bool CatalogServer::has_fallback() const {
+  std::lock_guard guard(fallback_mutex_);
+  return fallback_ != nullptr;
+}
+
+std::unique_ptr<SynthesisBackend> CatalogServer::as_backend() {
+  return std::make_unique<CatalogBackend>(*this);
+}
+
+std::optional<SynthesisResult> CatalogServer::fallback_synthesize(
+    const perm::Permutation& target) const {
+  std::lock_guard guard(fallback_mutex_);
+  if (fallback_ == nullptr) return std::nullopt;
+  return fallback_->synthesize(target);
 }
 
 std::optional<CatalogAnswer> CatalogServer::locate(
@@ -75,7 +161,7 @@ std::optional<SynthesisResult> CatalogServer::synthesize(
     const perm::Permutation& target) const {
   const NotStripped stripped = strip_not_prefix(wires_, target);
   const auto entry = fmcf_.find(stripped.core);
-  if (!entry.has_value()) return std::nullopt;
+  if (!entry.has_value()) return fallback_synthesize(target);
 
   SynthesisResult result;
   result.not_prefix = stripped.not_prefix;
@@ -95,7 +181,20 @@ std::optional<WeightedCatalogAnswer> CatalogServer::locate_weighted(
     bool scan_deeper_levels) const {
   const NotStripped stripped = strip_not_prefix(wires_, target);
   const auto entry = fmcf_.find(stripped.core);
-  if (!entry.has_value()) return std::nullopt;
+  if (!entry.has_value()) {
+    // Beyond the stored levels: the fallback backend's witness is the one
+    // candidate (one minimal-gate-count cascade, not a scan of alternatives).
+    const auto result = fallback_synthesize(target);
+    if (!result.has_value()) return std::nullopt;
+    WeightedCatalogAnswer answer;
+    answer.stopped = WeightedScanStop::kFallbackBackend;
+    answer.gate_count = result->core.size();
+    for (const gates::Gate& g : result->circuit.sequence()) {
+      answer.model_cost += g.cost(model);
+    }
+    answer.circuit = result->circuit;
+    return answer;
+  }
 
   unsigned prefix_cost = 0;
   for (const gates::Gate& g : stripped.not_prefix) prefix_cost += g.cost(model);
@@ -116,6 +215,9 @@ std::optional<WeightedCatalogAnswer> CatalogServer::locate_weighted(
 
   if (entry->cost == 0) {
     consider(gates::Cascade(wires_));
+    // The empty core is the global optimum: every alternative realization
+    // adds gates of nonnegative cost to the same NOT prefix.
+    best.stopped = WeightedScanStop::kExhausted;
     return best;
   }
   // Every stored realization of the core is a candidate: under non-uniform
@@ -129,6 +231,13 @@ std::optional<WeightedCatalogAnswer> CatalogServer::locate_weighted(
     }
   }
   QSYN_CHECK(have_best, "a located core must have at least one witness row");
+  if (!scan_deeper_levels) {
+    best.stopped = WeightedScanStop::kMinimalLevelOnly;
+  } else if (fmcf_.saturated()) {
+    best.stopped = WeightedScanStop::kExhausted;
+  } else {
+    best.stopped = WeightedScanStop::kStoredDepthLimit;
+  }
   return best;
 }
 

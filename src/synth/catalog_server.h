@@ -11,6 +11,13 @@
 // query vector out over the server's own worker pool. The only shared
 // mutable state is the witness cache (reconstructed cascades are the one
 // non-trivial per-query cost), a bounded map behind a reader/writer lock.
+//
+// Serving is backend-agnostic at the edges: as_backend() adapts the server
+// onto the SynthesisBackend seam, and set_fallback() plugs any other backend
+// (typically a TopologySearchBackend) in behind the catalog — targets beyond
+// the stored levels are then answered by the fallback instead of a miss.
+// Fallback calls serialize on a mutex (backends deepen and keep per-query
+// state); catalog hits never touch it, so the lock-free hit path is intact.
 #pragma once
 
 #include <atomic>
@@ -25,6 +32,7 @@
 
 #include "gates/gate.h"
 #include "perm/permutation.h"
+#include "synth/backend.h"
 #include "synth/fmcf.h"
 #include "synth/mce.h"
 
@@ -54,12 +62,33 @@ struct CatalogAnswer {
   std::vector<gates::Gate> not_prefix;  // Theorem 2's cost-0 NOT layer
 };
 
+/// Why a weighted scan returned the answer it did — i.e. how strong the
+/// "cheapest" claim is. Anything but kExhausted means a cheaper realization
+/// could exist outside what was scanned.
+enum class WeightedScanStop : std::uint8_t {
+  /// Only the core's minimal level was scanned (scan_deeper_levels off);
+  /// deeper stored levels might hold a cheaper cascade under this model.
+  kMinimalLevelOnly,
+  /// Every stored level was scanned, but the closure was cut off by its
+  /// enumeration budget (cb) before saturating — cascades beyond the stored
+  /// depth exist and were never enumerated.
+  kStoredDepthLimit,
+  /// Every stored level was scanned and the closure is saturated: no deeper
+  /// reasonable cascade exists, the answer is the global optimum.
+  kExhausted,
+  /// The core was beyond the stored levels; the answer is the fallback
+  /// backend's single witness, not a scan over stored implementations.
+  kFallbackBackend,
+};
+
 /// A weighted locate() answer: the cheapest stored realization under an
 /// arbitrary cost model.
 struct WeightedCatalogAnswer {
   gates::Cascade circuit;     // NOT prefix + core cascade
   unsigned model_cost = 0;    // total cost under the query's model
   std::size_t gate_count = 0;  // library gates in the core
+  /// Why the scan stopped where it did (see WeightedScanStop).
+  WeightedScanStop stopped = WeightedScanStop::kMinimalLevelOnly;
 
   WeightedCatalogAnswer() : circuit(2) {}
 };
@@ -82,13 +111,31 @@ class CatalogServer {
 
   [[nodiscard]] const FmcfEnumerator& enumerator() const { return fmcf_; }
 
+  /// Plugs a backend in behind the catalog: synthesize() and
+  /// locate_weighted() answer catalog misses through it instead of returning
+  /// nullopt (locate() stays catalog-only — its answer is a storage
+  /// location). The backend must serve the same library (enforced via the
+  /// seam fingerprints; throws qsyn::LogicError). Fallback queries serialize
+  /// on an internal mutex; pass nullptr to unplug.
+  void set_fallback(std::shared_ptr<SynthesisBackend> fallback);
+  [[nodiscard]] bool has_fallback() const;
+
+  /// Adapts this server onto the SynthesisBackend seam (name: "catalog").
+  /// The adapter serves stored answers — plus the fallback, when one is set
+  /// — and never deepens the closure. It references the server: the server
+  /// must outlive it.
+  [[nodiscard]] std::unique_ptr<SynthesisBackend> as_backend();
+
   /// Minimal cost + witness location of `target` (a permutation of {1..2^n}
   /// in binary-value order), or nullopt when the target's core is beyond the
-  /// stored levels. Lock-free; safe from any thread.
+  /// stored levels. Never consults the fallback (the answer is a catalog
+  /// location). Lock-free; safe from any thread.
   [[nodiscard]] std::optional<CatalogAnswer> locate(
       const perm::Permutation& target) const;
 
-  /// Full minimal realization (witness back-walk, cached). Thread-safe.
+  /// Full minimal realization (witness back-walk, cached). On a catalog miss
+  /// the fallback backend answers when one is set. Thread-safe; the
+  /// catalog-hit path is lock-free.
   [[nodiscard]] std::optional<SynthesisResult> synthesize(
       const perm::Permutation& target) const;
 
@@ -96,7 +143,11 @@ class CatalogServer {
   /// every implementation row of the core's minimal level — and, when
   /// `scan_deeper_levels` is set, every deeper stored level too (a deeper
   /// cascade can be cheaper under non-uniform costs, e.g. more CNOTs and
-  /// fewer controlled-V). nullopt when the core is beyond the stored levels.
+  /// fewer controlled-V). The answer's `stopped` field says how far the scan
+  /// actually got (minimal level only / stored-depth budget / exhausted
+  /// saturated closure), i.e. whether "cheapest stored" is "cheapest
+  /// possible". When the core is beyond the stored levels the fallback
+  /// backend answers if set (stopped = kFallbackBackend), else nullopt.
   [[nodiscard]] std::optional<WeightedCatalogAnswer> locate_weighted(
       const perm::Permutation& target, const gates::CostModel& model,
       bool scan_deeper_levels = false) const;
@@ -117,15 +168,26 @@ class CatalogServer {
   [[nodiscard]] CacheStats cache_stats() const;
 
  private:
+  friend class CatalogBackend;
+
   [[nodiscard]] gates::Cascade cached_witness(unsigned cost,
                                               std::size_t row) const;
   template <typename Answer, typename Fn>
   [[nodiscard]] std::vector<Answer> run_batch(
       const std::vector<perm::Permutation>& targets, const Fn& fn) const;
+  /// Serialized fallback call; nullopt when no fallback is set or it misses.
+  [[nodiscard]] std::optional<SynthesisResult> fallback_synthesize(
+      const perm::Permutation& target) const;
 
   FmcfEnumerator fmcf_;
   CatalogServerOptions options_;
   std::size_t wires_;
+
+  // Miss-path backend (set_fallback). Mutable + mutex: backends are stateful
+  // (a search backend accumulates stats, a closure backend may deepen), so
+  // const serving entry points serialize their fallback calls here.
+  mutable std::mutex fallback_mutex_;
+  std::shared_ptr<SynthesisBackend> fallback_;
 
   // The server owns its pool: the enumerator's lazily created sweep pool is
   // never touched (ThreadPool::run is not reentrant, and a catalog-backed

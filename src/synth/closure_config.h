@@ -4,10 +4,11 @@
 //
 // Threads, shards, chunking, witness tracking, banned-set pruning, and (new
 // in the out-of-core engine) the spill budget and spill directory all live
-// here. Earlier PRs scattered these across FmcfOptions fields, constructor
-// parameters, and environment variables read in different places; this
-// header is now the single home, and `FmcfOptions` survives only as a
-// deprecated alias (synth/fmcf.h) so old call sites keep compiling.
+// here. Earlier PRs scattered these across enumerator option fields,
+// constructor parameters, and environment variables read in different
+// places; this header is the single home (the transitional alias spelled
+// after the enumerator is gone — tests/test_deprecation.cpp and the
+// deprecated_names_absent ctest keep it from coming back).
 //
 // Field resolution follows one rule: an explicit non-default field wins,
 // else the matching QSYN_* environment variable, else a hardware- or

@@ -10,11 +10,16 @@
 namespace qsyn::synth {
 
 FlatPermStore::FlatPermStore(std::size_t width)
+    : FlatPermStore(width, /*label_range=*/width) {}
+
+FlatPermStore::FlatPermStore(std::size_t width, std::size_t label_range)
     : width_(width),
-      label_bytes_(width <= 256 ? 1 : 2),
+      label_bytes_(label_range <= 256 ? 1 : 2),
       stride_(width * label_bytes_),
       storage_(std::make_shared<VectorRowStorage>()) {
   QSYN_CHECK(width >= 1 && width <= 65536, "unsupported permutation width");
+  QSYN_CHECK(label_range >= width && label_range <= 65536,
+             "label range must cover the row width");
   vec_ = storage_->mutable_bytes();
   sync_view();
 }

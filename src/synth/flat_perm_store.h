@@ -48,6 +48,13 @@ class FlatPermStore {
   /// a fresh writable VectorRowStorage.
   explicit FlatPermStore(std::size_t width);
 
+  /// Same, but rows hold `width` labels drawn from [0, label_range) rather
+  /// than a permutation of [0, width): the label-byte width follows
+  /// `label_range`. The topology-search backend stores its visited states —
+  /// images of the 2^n binary labels under a cascade prefix, which range
+  /// over the *whole* reduced domain — in such a store.
+  FlatPermStore(std::size_t width, std::size_t label_range);
+
   /// Wraps an existing backend (shared: several stores may view disjoint
   /// windows of one mapped catalog). The backend must hold a whole number of
   /// rows. A non-writable backend yields a read-only store.

@@ -52,11 +52,6 @@ class ThreadPool;
 
 namespace qsyn::synth {
 
-/// Deprecated alias: the closure's knobs moved to synth/closure_config.h so
-/// threads/shards/chunking and the spill budget live in one place. Old call
-/// sites keep compiling; new code should say ClosureConfig.
-using FmcfOptions = ClosureConfig;
-
 /// Per-level statistics, one entry per computed cost k >= 1.
 struct FmcfLevelStats {
   unsigned cost = 0;          // k

@@ -46,6 +46,18 @@ NotStripped strip_not_prefix(std::size_t wires,
   return out;
 }
 
+SynthesisResult assemble_result(std::size_t wires, const NotStripped& stripped,
+                                gates::Cascade core) {
+  SynthesisResult result;
+  result.not_prefix = stripped.not_prefix;
+  result.cost = static_cast<unsigned>(core.size());
+  std::vector<gates::Gate> all = stripped.not_prefix;
+  all.insert(all.end(), core.sequence().begin(), core.sequence().end());
+  result.core = std::move(core);
+  result.circuit = gates::Cascade(wires, std::move(all));
+  return result;
+}
+
 McExpressor::McExpressor(const gates::GateLibrary& library, unsigned max_cost,
                          ClosureConfig config)
     : library_(&library),
@@ -78,14 +90,7 @@ std::optional<GEntry> McExpressor::locate(const perm::Permutation& core) {
 
 SynthesisResult McExpressor::assemble(const NotStripped& stripped,
                                       const gates::Cascade& core) const {
-  SynthesisResult result;
-  result.not_prefix = stripped.not_prefix;
-  result.core = core;
-  result.cost = static_cast<unsigned>(core.size());
-  std::vector<gates::Gate> all = stripped.not_prefix;
-  all.insert(all.end(), core.sequence().begin(), core.sequence().end());
-  result.circuit = gates::Cascade(core.wires(), std::move(all));
-  return result;
+  return assemble_result(core.wires(), stripped, core);
 }
 
 std::optional<SynthesisResult> McExpressor::synthesize(
@@ -105,7 +110,8 @@ std::vector<SynthesisResult> McExpressor::implementations(
   const NotStripped stripped = strip_not_coset(target);
   std::vector<SynthesisResult> out;
   if (stripped.core.is_identity()) {
-    out.push_back(assemble(stripped, gates::Cascade(library_->domain().wires())));
+    out.push_back(
+        assemble(stripped, gates::Cascade(library_->domain().wires())));
     return out;
   }
   const auto entry = locate(stripped.core);

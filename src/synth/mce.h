@@ -49,6 +49,14 @@ struct NotStripped {
 [[nodiscard]] NotStripped strip_not_prefix(std::size_t wires,
                                            const perm::Permutation& target);
 
+/// Assembles a SynthesisResult from Theorem 2's pieces: the cost-0 NOT
+/// prefix and a core cascade of library gates. Shared by every synthesis
+/// backend and the catalog serving layer, so assembled circuits are
+/// byte-identical across engines given the same pieces.
+[[nodiscard]] SynthesisResult assemble_result(std::size_t wires,
+                                              const NotStripped& stripped,
+                                              gates::Cascade core);
+
 /// Minimum-cost expressing over one gate library. Reuses one FMCF closure
 /// across calls, deepening it on demand up to `max_cost` (the paper's cb).
 class McExpressor {

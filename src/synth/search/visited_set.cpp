@@ -1,0 +1,91 @@
+#include "synth/search/visited_set.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace qsyn::synth {
+
+namespace {
+constexpr std::size_t kInitialSlots = 1u << 10;  // power of two
+}  // namespace
+
+VisitedSet::VisitedSet(std::size_t width, std::size_t label_range,
+                       std::size_t budget_bytes)
+    : store_(width, label_range),
+      slots_(kInitialSlots, 0),
+      slot_mask_(kInitialSlots - 1),
+      budget_bytes_(budget_bytes) {}
+
+std::uint64_t VisitedSet::hash_row(const std::uint8_t* row) const {
+  // splitmix64 over the row bytes, eight at a time (same mixing the
+  // closure's G-keys use).
+  const std::size_t stride = store_.row_stride();
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  std::size_t offset = 0;
+  while (offset < stride) {
+    std::uint64_t word = 0;
+    const std::size_t chunk = stride - offset < 8 ? stride - offset : 8;
+    std::memcpy(&word, row + offset, chunk);
+    offset += chunk;
+    std::uint64_t x = word + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    h = x ^ (x >> 31);
+  }
+  return h;
+}
+
+bool VisitedSet::admit(const std::uint8_t* row, unsigned depth) {
+  QSYN_CHECK(depth <= 0xff, "search depth exceeds the memo's depth field");
+  const std::size_t stride = store_.row_stride();
+  std::size_t i = static_cast<std::size_t>(hash_row(row)) & slot_mask_;
+  while (true) {
+    const std::uint32_t slot = slots_[i];
+    if (slot == 0) {
+      if (budget_bytes_ != 0 && store_.size_bytes() + stride > budget_bytes_) {
+        saturated_ = true;  // explore, but stop recording
+        return true;
+      }
+      store_.push_back(row);
+      depths_.push_back(static_cast<std::uint8_t>(depth));
+      slots_[i] = static_cast<std::uint32_t>(store_.size());
+      if (store_.size() * 10 >= slots_.size() * 7) grow_index();
+      return true;
+    }
+    if (std::memcmp(store_.row(slot - 1), row, stride) == 0) {
+      if (depth < depths_[slot - 1]) {
+        depths_[slot - 1] = static_cast<std::uint8_t>(depth);
+        return true;  // strictly more remaining budget: re-explore
+      }
+      return false;
+    }
+    i = (i + 1) & slot_mask_;
+  }
+}
+
+void VisitedSet::grow_index() {
+  const std::size_t new_size = slots_.size() * 2;
+  slots_.assign(new_size, 0);
+  slot_mask_ = new_size - 1;
+  for (std::size_t r = 0; r < store_.size(); ++r) {
+    std::size_t i = static_cast<std::size_t>(hash_row(store_.row(r))) &
+                    slot_mask_;
+    while (slots_[i] != 0) i = (i + 1) & slot_mask_;
+    slots_[i] = static_cast<std::uint32_t>(r + 1);
+  }
+}
+
+void VisitedSet::clear() {
+  store_.clear_keep_capacity();
+  depths_.clear();
+  std::memset(slots_.data(), 0, slots_.size() * sizeof(std::uint32_t));
+  saturated_ = false;
+}
+
+std::size_t VisitedSet::memory_bytes() const {
+  return store_.memory_bytes() + depths_.capacity() +
+         slots_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace qsyn::synth

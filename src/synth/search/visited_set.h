@@ -1,0 +1,67 @@
+// qsyn/synth/search/visited_set.h
+//
+// VisitedSet — the topology search's transposition memo.
+//
+// The DFS engine's search state is the image table of the 2^n binary labels
+// under the cascade prefix built so far; two prefixes reaching the same
+// image table at the same depth have identical subtrees, so re-exploring the
+// second is pure waste. The memo records each state with the shallowest
+// depth it was reached at; a revisit at the same or a greater depth is
+// pruned, a revisit at a strictly smaller depth re-explores (more remaining
+// budget) and lowers the recorded depth.
+//
+// Rows live in a FlatPermStore (the closure's flat row arena, here with the
+// label-byte width taken from the domain size rather than the row width),
+// with an open-addressing index of row slots on top. The arena is bounded by
+// a byte budget: once full, new states are still explored but no longer
+// recorded — the search stays exact, it just stops deduplicating, which is
+// the same stance the closure takes when its spill budget trips except that
+// here nothing needs to hit disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "synth/flat_perm_store.h"
+
+namespace qsyn::synth {
+
+/// Depth-tagged set of search states over a bounded FlatPermStore arena.
+class VisitedSet {
+ public:
+  /// `width` = labels per state row (2^n), `label_range` = domain size the
+  /// labels are drawn from (sets the row encoding), `budget_bytes` bounds
+  /// the arena (0 = unlimited).
+  VisitedSet(std::size_t width, std::size_t label_range,
+             std::size_t budget_bytes);
+
+  /// True when the caller should explore this state: it is unseen (recorded,
+  /// budget permitting) or was previously seen only at a strictly greater
+  /// depth (the record is lowered in place). False = prune.
+  [[nodiscard]] bool admit(const std::uint8_t* row, unsigned depth);
+
+  /// Forgets every state but keeps the allocations (the search clears the
+  /// memo between deepening iterations: depths are iteration-relative).
+  void clear();
+
+  [[nodiscard]] std::size_t rows() const { return store_.size(); }
+  [[nodiscard]] std::size_t row_stride() const { return store_.row_stride(); }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// True once the byte budget refused at least one insert.
+  [[nodiscard]] bool saturated() const { return saturated_; }
+
+ private:
+  [[nodiscard]] std::uint64_t hash_row(const std::uint8_t* row) const;
+  void grow_index();
+
+  FlatPermStore store_;               // one row per recorded state
+  std::vector<std::uint8_t> depths_;  // shallowest depth per row
+  std::vector<std::uint32_t> slots_;  // open addressing: row index + 1
+  std::size_t slot_mask_ = 0;
+  std::size_t budget_bytes_;
+  bool saturated_ = false;
+};
+
+}  // namespace qsyn::synth

@@ -161,11 +161,6 @@ class ShardedPermStore {
   /// Row bytes and order are identical in every mode.
   [[nodiscard]] FlatPermStore drain_sorted();
 
-  /// Deprecated: renamed drain_sorted() (same contract). The old name read
-  /// as a variant of flatten() but the two differed in destructiveness and
-  /// aliasing; this shim keeps old call sites compiling.
-  [[nodiscard]] FlatPermStore take_flatten() { return drain_sorted(); }
-
   /// Releases all memory and deletes this store's temporary run files (runs
   /// adopted elsewhere via absorb_shard survive until every owner drops
   /// them).

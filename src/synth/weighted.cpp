@@ -82,12 +82,38 @@ WeightedSynthesizer::WeightedSynthesizer(const gates::GateLibrary& library,
   }
 }
 
+void WeightedSynthesizer::set_bound_backend(SynthesisBackend* backend) {
+  if (backend != nullptr) {
+    const BackendInfo info = backend->info();
+    QSYN_CHECK(info.library_fingerprint == library_->fingerprint(),
+               "bound backend serves a different library");
+  }
+  bound_backend_ = backend;
+}
+
 std::optional<WeightedResult> WeightedSynthesizer::run(
     const perm::Permutation& target, bool build_witness) const {
   const std::uint32_t binary_count = 1u << wires_;
   const unsigned bits = static_cast<unsigned>(2 * wires_);
   QSYN_CHECK(target.degree() <= binary_count,
              "target permutation degree exceeds 2^wires");
+
+  // Upper bound from the seam: the bound backend's minimal-gate-count
+  // witness, priced under this model. Any state costing more than the bound
+  // cannot lie on an optimal path (move costs are nonnegative), so Dijkstra
+  // skips it — shrinking `best` on targets that would otherwise trip
+  // max_states.
+  unsigned bound = 0;
+  bool have_bound = false;
+  if (bound_backend_ != nullptr) {
+    if (auto witness = bound_backend_->synthesize(target);
+        witness.has_value()) {
+      for (const gates::Gate& g : witness->circuit.sequence()) {
+        bound += g.cost(model_);
+      }
+      have_bound = true;
+    }
+  }
 
   // Start: binary input i carries the pattern with code of its own bits.
   std::vector<std::uint8_t> images(binary_count);
@@ -160,6 +186,7 @@ std::optional<WeightedResult> WeightedSynthesizer::run(
       }
       const std::uint64_t next_key = pack(next, bits);
       const unsigned next_cost = top.cost + move.cost;
+      if (have_bound && next_cost > bound) continue;
       const auto found = best.find(next_key);
       if (found != best.end() && found->second <= next_cost) continue;
       if (found == best.end() && best.size() >= max_states_) {

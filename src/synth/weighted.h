@@ -22,6 +22,7 @@
 #include "gates/gate.h"
 #include "gates/library.h"
 #include "perm/permutation.h"
+#include "synth/backend.h"
 
 namespace qsyn::synth {
 
@@ -54,6 +55,15 @@ class WeightedSynthesizer {
   [[nodiscard]] std::optional<unsigned> minimal_cost(
       const perm::Permutation& target) const;
 
+  /// Seeds every query with an upper bound from a (gate-count-exact) seam
+  /// backend: the backend's witness cascade is priced under this model and
+  /// Dijkstra then never expands a state costlier than that bound. Exact —
+  /// an optimal path's every prefix costs at most the optimum — and it keeps
+  /// the explored state set (and so the max_states throw) bounded on targets
+  /// whose unpruned reach explodes. The backend must serve the same library
+  /// (checked); must outlive the synthesizer; nullptr unplugs.
+  void set_bound_backend(SynthesisBackend* backend);
+
  private:
   struct Move {
     gates::Gate gate;
@@ -71,6 +81,7 @@ class WeightedSynthesizer {
   std::size_t wires_;
   std::vector<Move> moves_;
   std::vector<std::uint32_t> code_banned_;  // banned mask per pattern code
+  SynthesisBackend* bound_backend_ = nullptr;  // optional, non-owning
 };
 
 }  // namespace qsyn::synth

@@ -282,7 +282,7 @@ TEST(CatalogRoundTrip, CountingClosureReopensWithoutWitnesses) {
   // A pure-counting closure (track_witnesses off) releases old frontiers;
   // its catalog still round-trips the G index, and witness reconstruction
   // fails cleanly rather than reading freed tables.
-  FmcfOptions options;
+  ClosureConfig options;
   options.track_witnesses = false;
   FmcfEnumerator fresh(library3(), options);
   fresh.run_to(3);

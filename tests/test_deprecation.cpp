@@ -1,0 +1,56 @@
+// Compile-time enforcement that the PR 7 migration shims stay deleted.
+//
+// `FmcfOptions` (the transitional alias of ClosureConfig) and
+// `ShardedPermStore::take_flatten()` (the transitional spelling of
+// drain_sorted()) existed only to keep old call sites compiling across one
+// PR. Every in-tree caller now uses the new names; this suite makes the old
+// ones a compile/ctest failure if they creep back:
+//   * member detection proves take_flatten() is gone from ShardedPermStore
+//     (and that drain_sorted(), the migration target, is present);
+//   * a namespace-scope alias cannot be SFINAE-probed, so the companion
+//     grep ctest (deprecated_names_absent, cmake/CheckDeprecatedNames.cmake)
+//     scans the tree for both spellings — this file is its one exclusion.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "synth/closure_config.h"
+#include "synth/fmcf.h"
+#include "synth/sharded_perm_store.h"
+
+namespace qsyn::synth {
+namespace {
+
+template <typename T, typename = void>
+struct HasTakeFlatten : std::false_type {};
+template <typename T>
+struct HasTakeFlatten<
+    T, std::void_t<decltype(std::declval<T&>().take_flatten())>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasDrainSorted : std::false_type {};
+template <typename T>
+struct HasDrainSorted<
+    T, std::void_t<decltype(std::declval<T&>().drain_sorted())>>
+    : std::true_type {};
+
+static_assert(!HasTakeFlatten<ShardedPermStore>::value,
+              "take_flatten() was deleted: callers drain stores via "
+              "drain_sorted() (same contract, honest name)");
+static_assert(HasDrainSorted<ShardedPermStore>::value,
+              "drain_sorted() is the migration target and must stay");
+
+TEST(Deprecation, ClosureConfigIsTheOneKnobSurface) {
+  // The migration target works end to end: an enumerator built from a
+  // ClosureConfig resolves and carries the configured knobs.
+  ClosureConfig config;
+  config.threads = 1;
+  config.shards = 1;
+  EXPECT_EQ(config.threads, 1u);
+  EXPECT_EQ(config.shards, 1u);
+}
+
+}  // namespace
+}  // namespace qsyn::synth

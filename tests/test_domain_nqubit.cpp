@@ -357,7 +357,7 @@ TEST(NQubitDifferential, RandomReasonableCascadesFusedVsPermModel) {
 
 TEST(NQubitClosure, FourWireLevelCountsArePinned) {
   const gates::GateLibrary library = gates::GateLibrary::standard(4);
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;
   synth::FmcfEnumerator e(library, options);
   e.run_to(2);
@@ -370,7 +370,7 @@ TEST(NQubitClosure, FourWireLevelCountsArePinned) {
 TEST(NQubitClosure, FiveWireClosureRunsOnTwoByteStores) {
   // 782 labels force the two-byte label rows and the 256-bit G-keys.
   const gates::GateLibrary library = gates::GateLibrary::standard(5);
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;
   synth::FmcfEnumerator e(library, options);
   e.run_to(2);

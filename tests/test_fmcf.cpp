@@ -86,7 +86,7 @@ class Fmcf3 : public ::testing::Test {
     static const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
     static const gates::GateLibrary library(domain);
     static FmcfEnumerator enumerator = [] {
-      FmcfEnumerator e(library, FmcfOptions{});
+      FmcfEnumerator e(library, ClosureConfig{});
       e.run_to(7);
       return e;
     }();
@@ -260,10 +260,10 @@ TEST_F(Fmcf3, FindRejectsUnreachedCircuits) {
   EXPECT_FALSE(shared().find(moved).has_value());
 }
 
-TEST(FmcfOptions, CountingModeMatchesWitnessMode) {
+TEST(ClosureConfig, CountingModeMatchesWitnessMode) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions lean;
+  ClosureConfig lean;
   lean.track_witnesses = false;
   FmcfEnumerator counting(library, lean);
   counting.run_to(5);
@@ -274,10 +274,10 @@ TEST(FmcfOptions, CountingModeMatchesWitnessMode) {
   EXPECT_THROW((void)counting.witness(GEntry{1, 0}), qsyn::LogicError);
 }
 
-TEST(FmcfOptions, SmallChunksGiveSameCounts) {
+TEST(ClosureConfig, SmallChunksGiveSameCounts) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions tiny;
+  ClosureConfig tiny;
   tiny.chunk_rows = 64;  // force many flushes
   FmcfEnumerator e(library, tiny);
   e.run_to(4);
@@ -288,7 +288,7 @@ TEST(FmcfOptions, SmallChunksGiveSameCounts) {
 TEST(FmcfAblation, NoBannedSetsInflatesClosure) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions unpruned;
+  ClosureConfig unpruned;
   unpruned.use_banned_sets = false;
   FmcfEnumerator free_walk(library, unpruned);
   free_walk.run_to(3);
@@ -342,14 +342,14 @@ TEST(FmcfThreads, MultiThreadedStatsMatchSingleThreaded) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
 
-  FmcfOptions single;
+  ClosureConfig single;
   single.threads = 1;
   single.track_witnesses = false;
   FmcfEnumerator reference(library, single);
   reference.run_to(7);
 
   for (const std::size_t threads : {2u, 4u}) {
-    FmcfOptions parallel;
+    ClosureConfig parallel;
     parallel.threads = threads;
     parallel.shards = 16;
     parallel.track_witnesses = false;
@@ -375,7 +375,7 @@ TEST(FmcfThreads, WitnessesSurviveThreadedSweep) {
   // binary searches and row indices keep working under threading.
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions options;
+  ClosureConfig options;
   options.threads = 4;
   options.shards = 8;
   FmcfEnumerator e(library, options);
@@ -393,7 +393,7 @@ TEST(FmcfThreads, ShardingAloneIsInvariant) {
   // Shards without threads: the sharded store must not change any count.
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions sharded;
+  ClosureConfig sharded;
   sharded.threads = 1;
   sharded.shards = 32;
   sharded.track_witnesses = false;
@@ -414,7 +414,7 @@ TEST(FmcfThreads, WitnessBackWalkIsThreadCountInvariant) {
   const gates::GateLibrary library(domain);
 
   const auto witnesses_with = [&](std::size_t threads) {
-    FmcfOptions options;
+    ClosureConfig options;
     options.threads = threads;
     if (threads > 1) options.shards = 8;
     FmcfEnumerator e(library, options);
@@ -444,7 +444,7 @@ TEST(FmcfThreads, ConcurrentWitnessReconstructionIsSafe) {
   // single-threaded result.
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions options;
+  ClosureConfig options;
   options.threads = 4;
   options.shards = 8;
   FmcfEnumerator e(library, options);
@@ -477,7 +477,7 @@ TEST(FmcfThreads, CountSequencesIsThreadCountInvariant) {
 
   auto count_with = [&](std::size_t threads, const perm::Permutation& target,
                         unsigned cost) {
-    FmcfOptions options;
+    ClosureConfig options;
     options.threads = threads;
     McExpressor mce(library, 7, options);
     return mce.count_sequences(target, cost);

@@ -25,7 +25,7 @@ TEST(Integration, FourQubitClosureLevels) {
   ASSERT_EQ(domain.size(), 176u);
   const gates::GateLibrary library(domain);
   ASSERT_EQ(library.size(), 36u);
-  synth::FmcfOptions options;
+  synth::ClosureConfig options;
   options.track_witnesses = false;
   synth::FmcfEnumerator enumerator(library, options);
   enumerator.run_to(3);

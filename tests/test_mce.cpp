@@ -222,7 +222,7 @@ TEST(McExpressorSaturation, UnrealizableTargetReturnsNulloptNotCrash) {
 TEST(McExpressorThreads, ThreadedClosureSynthesizesIdentically) {
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
   const gates::GateLibrary library(domain);
-  FmcfOptions options;
+  ClosureConfig options;
   options.threads = 4;
   McExpressor mce(library, 7, options);
   const auto peres = mce.synthesize(peres_perm());

@@ -233,8 +233,8 @@ TEST(ShardedPermStore, FlattenEqualsSortedModel) {
     expect_equals_model(store.flatten(), set_of(rows));
     EXPECT_EQ(store.size(), set_of(rows).size());
 
-    // take_flatten yields the same rows and empties the store.
-    expect_equals_model(store.take_flatten(), set_of(rows));
+    // drain_sorted yields the same rows and empties the store.
+    expect_equals_model(store.drain_sorted(), set_of(rows));
     EXPECT_TRUE(store.empty());
   }
 }

@@ -468,25 +468,20 @@ TEST(ShardedSpill, LegacyWholeStoreOpsRejectSpilledStores) {
 }
 
 TEST(ShardedSpill, DrainSortedMatchesFlattenInMemoryToo) {
-  // The renamed drain_sorted() and the take_flatten() shim both honor the
-  // unified contract on plain in-memory stores.
+  // drain_sorted() honors the unified contract on plain in-memory stores:
+  // same rows as a flatten(), then the store is empty.
   Rng rng(5204);
   const std::size_t width = 7;
   for (const std::size_t shards : {std::size_t(1), std::size_t(4)}) {
     ShardedPermStore a(width, shards);
-    ShardedPermStore b(width, shards);
     for (int i = 0; i < 300; ++i) {
       const Row row = random_label_row(rng, width);
       a.push_back(row.data());
-      b.push_back(row.data());
     }
     a.sort_unique();
-    b.sort_unique();
     const FlatPermStore flat = a.flatten();
     const FlatPermStore drained = a.drain_sorted();
-    const FlatPermStore taken = b.take_flatten();
     expect_same_rows(drained, flat);
-    expect_same_rows(taken, flat);
     EXPECT_TRUE(a.empty());
   }
 }
@@ -625,15 +620,6 @@ TEST(ClosureConfigResolution, SpillDirEnvFallback) {
   EXPECT_FALSE(resolve_spill_dir("").empty());  // system temp dir
 }
 #endif  // !_WIN32
-
-TEST(ClosureConfigResolution, FmcfOptionsIsClosureConfig) {
-  // The deprecated alias must stay interchangeable with the new name.
-  static_assert(std::is_same_v<FmcfOptions, ClosureConfig>);
-  FmcfOptions options;
-  options.spill_budget_bytes = 1;
-  const ClosureConfig& config = options;
-  EXPECT_EQ(config.spill_budget_bytes, 1u);
-}
 
 }  // namespace
 }  // namespace qsyn::synth

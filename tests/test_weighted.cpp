@@ -8,15 +8,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/error.h"
 #include "gates/library.h"
 #include "mvl/domain.h"
 #include "sim/cross_check.h"
+#include "synth/backend.h"
 #include "synth/catalog_server.h"
 #include "synth/fmcf.h"
 #include "synth/mce.h"
+#include "synth/search/topology_search.h"
 #include "synth/specs.h"
 #include "synth/weighted.h"
 
@@ -119,6 +122,47 @@ TEST(Weighted, StateBoundThrows) {
   EXPECT_THROW((void)tiny.minimal_cost(toffoli_perm()), qsyn::SynthesisError);
 }
 
+TEST(Weighted, BoundBackendKeepsAnswersExact) {
+  // The upper-bound prune is exactness-preserving: every prefix of an
+  // optimal path costs at most the optimum, which the backend's witness
+  // bounds from above.
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  ClosureBackend closure(library3(), 7);
+  const WeightedSynthesizer plain(library3(), nmr);
+  WeightedSynthesizer bounded(library3(), nmr);
+  bounded.set_bound_backend(&closure);
+  for (const auto& target : {peres_perm(), toffoli_perm(), swap_bc_perm(),
+                             g2_perm(), g3_perm(), g4_perm()}) {
+    EXPECT_EQ(bounded.minimal_cost(target), plain.minimal_cost(target))
+        << target.to_cycle_string();
+  }
+}
+
+TEST(Weighted, BoundBackendShrinksTheExploredStateSet) {
+  // Toffoli under the NMR model needs ~196k explored signatures unpruned
+  // but fits in ~89k with the closure witness as an upper bound, so at a
+  // 120k state cap only the bounded synthesizer survives.
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  const WeightedSynthesizer plain(library3(), nmr, true, 120000);
+  EXPECT_THROW((void)plain.minimal_cost(toffoli_perm()), qsyn::SynthesisError);
+
+  ClosureBackend closure(library3(), 7);
+  WeightedSynthesizer bounded(library3(), nmr, true, 120000);
+  bounded.set_bound_backend(&closure);
+  const auto cost = bounded.minimal_cost(toffoli_perm());
+  const WeightedSynthesizer reference(library3(), nmr);
+  EXPECT_EQ(cost, reference.minimal_cost(toffoli_perm()));
+}
+
+TEST(Weighted, BoundBackendForDifferentLibraryThrows) {
+  static const gates::GateLibrary lib2 = gates::GateLibrary::standard(2);
+  ClosureBackend other(lib2, 5);
+  WeightedSynthesizer dijkstra(library3(), gates::CostModel::unit());
+  EXPECT_THROW(dijkstra.set_bound_backend(&other), qsyn::LogicError);
+  // nullptr unplugs without complaint.
+  dijkstra.set_bound_backend(nullptr);
+}
+
 TEST(Weighted, DegreeGuard) {
   const WeightedSynthesizer dijkstra(library3(), gates::CostModel::unit());
   EXPECT_THROW(
@@ -215,6 +259,64 @@ TEST(CatalogWeighted, MissBeyondStoredDepth) {
   EXPECT_FALSE(
       server5().locate_weighted(fredkin_perm(), gates::CostModel::nmr_like())
           .has_value());
+}
+
+TEST(CatalogWeighted, StopReasonSaysHowFarTheScanGot) {
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  // Minimal level only: deeper stored levels were never ranked.
+  const auto minimal = server5().locate_weighted(peres_perm(), nmr, false);
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_EQ(minimal->stopped, WeightedScanStop::kMinimalLevelOnly);
+  // Deeper scan over a cb = 5 closure: every stored level was ranked, but
+  // the closure was budget-cut before saturating, so cheaper realizations
+  // could exist beyond the stored depth.
+  const auto deeper = server5().locate_weighted(peres_perm(), nmr, true);
+  ASSERT_TRUE(deeper.has_value());
+  EXPECT_EQ(deeper->stopped, WeightedScanStop::kStoredDepthLimit);
+  // An identity core is the global optimum under any model: nothing to scan.
+  const auto identity =
+      server5().locate_weighted(perm::Permutation::identity(8), nmr, false);
+  ASSERT_TRUE(identity.has_value());
+  EXPECT_EQ(identity->stopped, WeightedScanStop::kExhausted);
+}
+
+TEST(CatalogWeighted, SaturatedClosureReportsExhausted) {
+  // Over a saturated closure a full scan *is* the global optimum: the tiny
+  // Feynman-pair library exhausts its reachable group within a few levels.
+  static const gates::GateLibrary tiny =
+      library3().restricted_to(library3().feynman_subset(0, 1));
+  FmcfEnumerator closure(tiny);
+  closure.run_to(64);
+  ASSERT_TRUE(closure.saturated());
+  const CatalogServer server(std::move(closure));
+  gates::Cascade fab(3);
+  fab.append(gates::Gate::feynman(0, 1));
+  const auto answer = server.locate_weighted(fab.to_binary_permutation(),
+                                             gates::CostModel::unit(), true);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->stopped, WeightedScanStop::kExhausted);
+}
+
+TEST(CatalogWeighted, FallbackBackendAnswersBeyondStoredDepth) {
+  // A cb = 4 catalog misses Toffoli (cost 5); with a search backend plugged
+  // in the weighted query returns its single witness, flagged as such (one
+  // minimal-gate-count cascade, not a ranked scan of alternatives).
+  FmcfEnumerator closure(library3());
+  closure.run_to(4);
+  CatalogServer server(std::move(closure));
+  const gates::CostModel nmr = gates::CostModel::nmr_like();
+  EXPECT_FALSE(server.locate_weighted(toffoli_perm(), nmr, true).has_value());
+
+  SearchConfig config;
+  config.max_cost = 5;
+  server.set_fallback(
+      std::make_shared<TopologySearchBackend>(library3(), config));
+  const auto answer = server.locate_weighted(toffoli_perm(), nmr, true);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->stopped, WeightedScanStop::kFallbackBackend);
+  EXPECT_EQ(answer->gate_count, 5u);
+  EXPECT_EQ(answer->model_cost, answer->circuit.cost(nmr));
+  EXPECT_EQ(answer->circuit.to_binary_permutation(), toffoli_perm());
 }
 
 TEST(CatalogWeighted, DiskRoundTripServesTheSameWeightedAnswers) {
