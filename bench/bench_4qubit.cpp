@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "bench_util.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "gates/library.h"
 #include "mvl/nqubit.h"
@@ -25,9 +26,8 @@ using namespace qsyn;
 
 void regenerate() {
   unsigned max_cost = 4;
-  if (const char* env = std::getenv("QSYN_4Q_MAX")) {
-    max_cost = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (max_cost < 1 || max_cost > 6) max_cost = 4;
+  if (const auto cap = parse_env_size_t("QSYN_4Q_MAX", 1, 6)) {
+    max_cost = static_cast<unsigned>(*cap);
   }
   bench::section("Extension: 4-qubit FMCF closure (beyond the paper)");
   const gates::GateLibrary library = gates::GateLibrary::standard(4);

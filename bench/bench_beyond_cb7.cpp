@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "bench_util.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "gates/library.h"
 #include "mvl/domain.h"
@@ -26,9 +27,8 @@ using namespace qsyn;
 
 void regenerate() {
   unsigned max_cost = 9;
-  if (const char* env = std::getenv("QSYN_BEYOND_MAX")) {
-    max_cost = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (max_cost < 1 || max_cost > 12) max_cost = 9;
+  if (const auto cap = parse_env_size_t("QSYN_BEYOND_MAX", 1, 12)) {
+    max_cost = static_cast<unsigned>(*cap);
   }
   bench::section("Extension: FMCF closure beyond the paper's cb = 7");
   const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);

@@ -24,9 +24,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/env.h"
+#include "common/simd/kernels.h"
 #include "common/stopwatch.h"
 #include "gates/library.h"
 #include "mvl/nqubit.h"
@@ -36,6 +40,16 @@ namespace {
 
 using namespace qsyn;
 
+// The one QSYN_GROWTH_DEPTH read (strict parse, warn-once on garbage),
+// clamped per caller — the in-memory and out-of-core sections accept
+// different ranges.
+unsigned growth_depth_env(unsigned fallback, unsigned max_depth) {
+  if (const auto cap = parse_env_size_t("QSYN_GROWTH_DEPTH", 1, max_depth)) {
+    return static_cast<unsigned>(*cap);
+  }
+  return fallback;
+}
+
 unsigned depth_for(std::size_t wires) {
   // 2 wires run to saturation (GL(2,2) is tiny); 5-wire levels grow ~60x
   // per step, so the default depth shrinks with the width.
@@ -43,16 +57,14 @@ unsigned depth_for(std::size_t wires) {
   if (wires == 2) depth = 8;
   if (wires == 3) depth = 4;
   if (wires == 4) depth = 3;
-  if (const char* env = std::getenv("QSYN_GROWTH_DEPTH")) {
-    const unsigned cap =
-        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (cap >= 1 && cap <= 8) depth = cap;
-  }
-  return depth;
+  return growth_depth_env(depth, 8);
 }
 
 void regenerate() {
   bench::section("Extension: n-qubit domain & library growth (n = 2..5)");
+  // The engine behind the store sweeps below (QSYN_SIMD=off pins scalar;
+  // per-level stats are engine-invariant, only the wall time moves).
+  bench::value_row("simd engine", simd::active_engine_name());
   for (std::size_t n = 2; n <= 5; ++n) {
     const mvl::NQubitDomain nq(n);
     const gates::GateLibrary library = gates::GateLibrary::standard(nq);
@@ -104,13 +116,7 @@ unsigned outofcore_depth() {
   // One level past the in-memory default for n = 5. QSYN_GROWTH_DEPTH moves
   // it within 1..4: smoke runs set 1, and 4 opts into the ~1.6 GiB-of-rows
   // level that only fits because the stores spill.
-  unsigned depth = 3;
-  if (const char* env = std::getenv("QSYN_GROWTH_DEPTH")) {
-    const unsigned cap =
-        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (cap >= 1 && cap <= 4) depth = cap;
-  }
-  return depth;
+  return growth_depth_env(3, 4);
 }
 
 void regenerate_outofcore() {
@@ -170,6 +176,76 @@ BENCHMARK(bm_closure_outofcore)
     ->Arg(5)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
+
+// --- kernel micro-benches ---------------------------------------------------
+//
+// The set-algebra kernels in isolation, on the row shapes the closure
+// actually sweeps (38 B = n=3 one-byte labels, 1564 B = n=5 two-byte
+// labels). Arg 1 selects the engine: 0 = dispatched (radix + vector
+// compare), 1 = forced scalar (the historical indirect std::sort) — the
+// pair is the kernel-level speedup BENCH_pr9.json records.
+
+std::vector<std::uint8_t> random_rows(std::size_t count, std::size_t stride,
+                                      std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> rows(count * stride);
+  for (auto& byte : rows) byte = static_cast<std::uint8_t>(rng() & 0xFF);
+  return rows;
+}
+
+void bm_kernel_sort_unique(benchmark::State& state) {
+  const auto stride = static_cast<std::size_t>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  const std::size_t count = (std::size_t(8) << 20) / stride;
+  const std::vector<std::uint8_t> rows = random_rows(count, stride, 42);
+  simd::force_scalar(scalar);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    simd::sort_unique_rows(rows.data(), count, stride, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::force_scalar(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+  state.counters["rows"] = static_cast<double>(count);
+  state.SetLabel(scalar ? "scalar" : simd::active_engine_name());
+}
+BENCHMARK(bm_kernel_sort_unique)
+    ->Args({38, 0})
+    ->Args({38, 1})
+    ->Args({1564, 0})
+    ->Args({1564, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void bm_kernel_subtract(benchmark::State& state) {
+  const auto stride = static_cast<std::size_t>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  const std::size_t count = (std::size_t(8) << 20) / stride;
+  std::vector<std::uint8_t> a = random_rows(count, stride, 7);
+  std::vector<std::uint8_t> b = random_rows(count, stride, 11);
+  std::vector<std::uint8_t> sorted;
+  simd::sort_unique_rows_scalar(a.data(), count, stride, sorted);
+  a.swap(sorted);
+  simd::sort_unique_rows_scalar(b.data(), count, stride, sorted);
+  b.swap(sorted);
+  simd::force_scalar(scalar);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    simd::subtract_sorted_rows(a.data(), a.size() / stride, b.data(),
+                               b.size() / stride, stride, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::force_scalar(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+  state.SetLabel(scalar ? "scalar" : simd::active_engine_name());
+}
+BENCHMARK(bm_kernel_subtract)
+    ->Args({38, 0})
+    ->Args({38, 1})
+    ->Args({1564, 0})
+    ->Args({1564, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void bm_standard_library(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd/kernels.h"
 #include "gates/cascade.h"
 #include "gates/library.h"
 #include "mvl/domain.h"
@@ -115,6 +116,33 @@ void regenerate_artifact() {
                            " misses");
     }
   }
+
+  // GEMM-batched vs per-column application must be bit-identical (dyadic
+  // amplitudes), not just tolerance-close.
+  bench::value_row("simd engine", simd::active_engine_name());
+  std::vector<sim::SimJob> jobs;
+  for (const gates::Cascade& c : catalog()) {
+    for (std::uint32_t bits = 0; bits < (1u << c.wires()); ++bits) {
+      jobs.push_back(sim::SimJob{&c, bits});
+    }
+  }
+  sim::SimOptions gemm_options;
+  gemm_options.fuse_block = 16;
+  gemm_options.threads = 1;
+  gemm_options.gemm_batch = true;
+  sim::SimOptions column_options = gemm_options;
+  column_options.gemm_batch = false;
+  sim::BatchSimulator gemm_sim(gemm_options);
+  sim::BatchSimulator column_sim(column_options);
+  const std::vector<la::Vector> gemm_states = gemm_sim.run(jobs);
+  const std::vector<la::Vector> column_states = column_sim.run(jobs);
+  long long identical = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    identical += gemm_states[i].data() == column_states[i].data();
+  }
+  bench::compare_row("gemm == per-column (bitwise)",
+                     static_cast<long long>(jobs.size()), identical,
+                     "exact dyadic arithmetic");
 }
 
 /// One full soundness sweep over the catalog. fuse_block = 0 is the
@@ -187,6 +215,36 @@ void bm_batch_throughput(benchmark::State& state) {
 BENCHMARK(bm_batch_throughput)
     ->Arg(0)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// GEMM-batched (1) vs per-column (0) block application on the same jobs
+/// vector — the fused-path delta the vectorized kernels PR records.
+/// fuse_block = 4 so the length-4..15 catalog cascades fold to 1..4 blocks:
+/// the batched path only engages past block 0 (block 0 is a column gather
+/// either way), so whole-cascade fusion would leave it nothing to multiply.
+void bm_batch_gemm_toggle(benchmark::State& state) {
+  std::vector<sim::SimJob> jobs;
+  for (const gates::Cascade& c : catalog()) {
+    for (std::uint32_t bits = 0; bits < (1u << c.wires()); ++bits) {
+      jobs.push_back(sim::SimJob{&c, bits});
+    }
+  }
+  sim::SimOptions options;
+  options.fuse_block = 4;
+  options.threads = 1;
+  options.gemm_batch = state.range(0) != 0;
+  sim::BatchSimulator sim(options);
+  benchmark::DoNotOptimize(sim.run(jobs));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.SetLabel(state.range(0) != 0 ? "gemm" : "per-column");
+}
+BENCHMARK(bm_batch_gemm_toggle)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,508 @@
+#include "common/simd/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "common/env.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define QSYN_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define QSYN_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace qsyn::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool env_disables_simd() {
+  static const bool disabled = [] {
+    const char* env = std::getenv("QSYN_SIMD");
+    if (env == nullptr || env[0] == '\0') return false;
+    std::string value(env);
+    for (char& ch : value) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    if (value == "off" || value == "0" || value == "scalar" ||
+        value == "false") {
+      return true;
+    }
+    if (value == "on" || value == "1" || value == "auto" || value == "true") {
+      return false;
+    }
+    warn_env_once("QSYN_SIMD", env,
+                  "expected on/off (off, 0, scalar, false disable the "
+                  "vectorized kernels)");
+    return false;
+  }();
+  return disabled;
+}
+
+Engine hardware_engine() {
+#if defined(QSYN_KERNELS_X86)
+  static const Engine engine =
+      __builtin_cpu_supports("avx2") ? Engine::kAvx2 : Engine::kScalar;
+  return engine;
+#elif defined(QSYN_KERNELS_NEON)
+  return Engine::kNeon;
+#else
+  return Engine::kScalar;
+#endif
+}
+
+}  // namespace
+
+bool scalar_forced() {
+  return g_force_scalar.load(std::memory_order_relaxed) || env_disables_simd();
+}
+
+void force_scalar(bool on) {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+Engine active_engine() {
+  return scalar_forced() ? Engine::kScalar : hardware_engine();
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kAvx2:
+      return "avx2";
+    case Engine::kNeon:
+      return "neon";
+    case Engine::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+// --- row compares -----------------------------------------------------------
+
+int compare_rows_scalar(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t stride) {
+  return std::memcmp(a, b, stride);
+}
+
+#if defined(QSYN_KERNELS_X86)
+namespace {
+
+__attribute__((target("avx2"))) int compare_rows_avx2(const std::uint8_t* a,
+                                                      const std::uint8_t* b,
+                                                      std::size_t stride) {
+  std::size_t i = 0;
+  while (i + 32 <= stride) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned equal = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (equal != 0xFFFFFFFFu) {
+      const std::size_t at = i + static_cast<std::size_t>(
+                                     __builtin_ctz(~equal));
+      return a[at] < b[at] ? -1 : 1;
+    }
+    i += 32;
+  }
+  if (i == stride) return 0;
+  return std::memcmp(a + i, b + i, stride - i);
+}
+
+}  // namespace
+#endif  // QSYN_KERNELS_X86
+
+#if defined(QSYN_KERNELS_NEON)
+namespace {
+
+int compare_rows_neon(const std::uint8_t* a, const std::uint8_t* b,
+                      std::size_t stride) {
+  std::size_t i = 0;
+  while (i + 16 <= stride) {
+    const uint8x16_t va = vld1q_u8(a + i);
+    const uint8x16_t vb = vld1q_u8(b + i);
+    if (vminvq_u8(vceqq_u8(va, vb)) != 0xFF) {
+      for (std::size_t j = i; j < i + 16; ++j) {
+        if (a[j] != b[j]) return a[j] < b[j] ? -1 : 1;
+      }
+    }
+    i += 16;
+  }
+  if (i == stride) return 0;
+  return std::memcmp(a + i, b + i, stride - i);
+}
+
+}  // namespace
+#endif  // QSYN_KERNELS_NEON
+
+namespace {
+
+using CompareFn = int (*)(const std::uint8_t*, const std::uint8_t*,
+                          std::size_t);
+
+/// The compare the current engine dispatches to; resolved once per set-
+/// algebra call, not once per row.
+CompareFn resolve_compare() {
+  switch (active_engine()) {
+#if defined(QSYN_KERNELS_X86)
+    case Engine::kAvx2:
+      return &compare_rows_avx2;
+#endif
+#if defined(QSYN_KERNELS_NEON)
+    case Engine::kNeon:
+      return &compare_rows_neon;
+#endif
+    default:
+      return &compare_rows_scalar;
+  }
+}
+
+}  // namespace
+
+int compare_rows(const std::uint8_t* a, const std::uint8_t* b,
+                 std::size_t stride) {
+  return resolve_compare()(a, b, stride);
+}
+
+// --- sort_unique ------------------------------------------------------------
+
+void sort_unique_rows_scalar(const std::uint8_t* rows, std::size_t count,
+                             std::size_t stride,
+                             std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (count == 0) return;
+  // Indirect sort: order row indices, then gather into the output buffer
+  // (the historical FlatPermStore::sort_unique, kept as the reference).
+  std::vector<std::uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [rows, stride](std::uint32_t a, std::uint32_t b) {
+              return std::memcmp(rows + std::size_t(a) * stride,
+                                 rows + std::size_t(b) * stride, stride) < 0;
+            });
+  out.reserve(count * stride);
+  const std::uint8_t* prev = nullptr;
+  for (const std::uint32_t idx : order) {
+    const std::uint8_t* r = rows + std::size_t(idx) * stride;
+    if (prev != nullptr && std::memcmp(prev, r, stride) == 0) continue;
+    out.insert(out.end(), r, r + stride);
+    prev = out.data() + out.size() - stride;
+  }
+}
+
+namespace {
+
+/// Length of the common prefix of `a` and `b`, at most `limit` bytes.
+std::size_t common_prefix(const std::uint8_t* a, const std::uint8_t* b,
+                          std::size_t limit) {
+  std::size_t p = 0;
+  while (p + 8 <= limit) {
+    std::uint64_t wa;
+    std::uint64_t wb;
+    std::memcpy(&wa, a + p, 8);
+    std::memcpy(&wb, b + p, 8);
+    if (wa != wb) {
+      // Little-endian load: the lowest differing *byte* is the first one.
+      return p + static_cast<std::size_t>(__builtin_ctzll(wa ^ wb)) / 8;
+    }
+    p += 8;
+  }
+  while (p < limit && a[p] == b[p]) ++p;
+  return p;
+}
+
+struct RadixPair {
+  std::uint64_t key;
+  std::uint32_t index;
+};
+
+}  // namespace
+
+void sort_unique_rows_radix(const std::uint8_t* rows, std::size_t count,
+                            std::size_t stride,
+                            std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (count == 0) return;
+  if (count == 1) {
+    out.assign(rows, rows + stride);
+    return;
+  }
+
+  // The key window must start at a true common prefix of every row — the
+  // radix order below only sees the window, so any byte before it has to be
+  // globally constant. One early-exiting scan against row 0 finds it.
+  std::size_t lcp = stride;
+  for (std::size_t i = 1; i < count && lcp > 0; ++i) {
+    lcp = common_prefix(rows, rows + i * stride, lcp);
+  }
+
+  // 8-byte big-endian key window at the first discriminating byte: integer
+  // key order == memcmp order of bytes [lcp, lcp + 8).
+  const std::size_t window = std::min<std::size_t>(8, stride - lcp);
+  std::vector<RadixPair> pairs(count);
+  std::vector<RadixPair> scratch(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t* at = rows + i * stride + lcp;
+    std::uint64_t key = 0;
+    for (std::size_t b = 0; b < window; ++b) {
+      key = key << 8 | at[b];
+    }
+    key <<= 8 * (8 - window);
+    pairs[i] = RadixPair{key, static_cast<std::uint32_t>(i)};
+  }
+
+  // LSD radix over the key: all 8 histograms in one pre-pass, then one
+  // stable counting-sort pass per non-degenerate byte (bytes the window
+  // does not reach, and high bytes narrowed by the shard prefix, are
+  // single-bucket and skipped for free).
+  std::uint32_t histogram[8][256] = {};
+  for (const RadixPair& pair : pairs) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      ++histogram[b][(pair.key >> (8 * b)) & 0xFF];
+    }
+  }
+  for (std::size_t b = 0; b < 8; ++b) {
+    const std::uint32_t* counts = histogram[b];
+    bool degenerate = false;
+    for (std::size_t v = 0; v < 256; ++v) {
+      if (counts[v] == count) {
+        degenerate = true;
+        break;
+      }
+      if (counts[v] != 0) break;
+    }
+    if (degenerate) continue;
+    std::uint32_t offsets[256];
+    std::uint32_t total = 0;
+    for (std::size_t v = 0; v < 256; ++v) {
+      offsets[v] = total;
+      total += counts[v];
+    }
+    for (const RadixPair& pair : pairs) {
+      scratch[offsets[(pair.key >> (8 * b)) & 0xFF]++] = pair;
+    }
+    std::swap(pairs, scratch);
+  }
+
+  // Gather in key order. Rows with equal keys agree on bytes [0, lcp + 8);
+  // groups are comparison-sorted on the tail and deduplicated (duplicates
+  // always share a key, so cross-group duplicates cannot exist).
+  out.reserve(count * stride);
+  const std::size_t tail_offset = lcp + window;
+  const std::size_t tail = stride - tail_offset;
+  std::vector<std::uint32_t> group;
+  std::size_t i = 0;
+  while (i < count) {
+    std::size_t j = i + 1;
+    while (j < count && pairs[j].key == pairs[i].key) ++j;
+    if (j == i + 1) {
+      const std::uint8_t* r = rows + std::size_t(pairs[i].index) * stride;
+      out.insert(out.end(), r, r + stride);
+    } else if (tail == 0) {
+      // Fully identical rows: keep one.
+      const std::uint8_t* r = rows + std::size_t(pairs[i].index) * stride;
+      out.insert(out.end(), r, r + stride);
+    } else {
+      group.clear();
+      for (std::size_t g = i; g < j; ++g) group.push_back(pairs[g].index);
+      std::sort(group.begin(), group.end(),
+                [rows, stride, tail_offset, tail](std::uint32_t a,
+                                                  std::uint32_t b) {
+                  return std::memcmp(
+                             rows + std::size_t(a) * stride + tail_offset,
+                             rows + std::size_t(b) * stride + tail_offset,
+                             tail) < 0;
+                });
+      const std::uint8_t* prev = nullptr;
+      for (const std::uint32_t idx : group) {
+        const std::uint8_t* r = rows + std::size_t(idx) * stride;
+        if (prev != nullptr &&
+            std::memcmp(prev + tail_offset, r + tail_offset, tail) == 0) {
+          continue;
+        }
+        out.insert(out.end(), r, r + stride);
+        prev = r;
+      }
+    }
+    i = j;
+  }
+}
+
+void sort_unique_rows(const std::uint8_t* rows, std::size_t count,
+                      std::size_t stride, std::vector<std::uint8_t>& out) {
+  if (active_engine() == Engine::kScalar) {
+    sort_unique_rows_scalar(rows, count, stride, out);
+  } else {
+    sort_unique_rows_radix(rows, count, stride, out);
+  }
+}
+
+// --- subtract / merge -------------------------------------------------------
+
+namespace {
+
+void subtract_impl(const std::uint8_t* a, std::size_t a_count,
+                   const std::uint8_t* b, std::size_t b_count,
+                   std::size_t stride, std::vector<std::uint8_t>& out,
+                   CompareFn compare) {
+  out.clear();
+  if (a_count == 0) return;
+  if (b_count == 0) {
+    out.assign(a, a + a_count * stride);
+    return;
+  }
+  out.reserve(a_count * stride);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a_count) {
+    if (j == b_count) {
+      out.insert(out.end(), a + i * stride, a + a_count * stride);
+      return;
+    }
+    const int cmp = compare(a + i * stride, b + j * stride, stride);
+    if (cmp < 0) {
+      out.insert(out.end(), a + i * stride, a + (i + 1) * stride);
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++i;  // drop: present in b
+    }
+  }
+}
+
+void merge_impl(const std::uint8_t* a, std::size_t a_count,
+                const std::uint8_t* b, std::size_t b_count, std::size_t stride,
+                std::vector<std::uint8_t>& out, CompareFn compare) {
+  out.clear();
+  out.reserve((a_count + b_count) * stride);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a_count && j < b_count) {
+    const int cmp = compare(a + i * stride, b + j * stride, stride);
+    if (cmp <= 0) {
+      out.insert(out.end(), a + i * stride, a + (i + 1) * stride);
+      if (cmp == 0) ++j;  // keep duplicates once
+      ++i;
+    } else {
+      out.insert(out.end(), b + j * stride, b + (j + 1) * stride);
+      ++j;
+    }
+  }
+  if (i < a_count) {
+    out.insert(out.end(), a + i * stride, a + a_count * stride);
+  }
+  if (j < b_count) {
+    out.insert(out.end(), b + j * stride, b + b_count * stride);
+  }
+}
+
+}  // namespace
+
+void subtract_sorted_rows(const std::uint8_t* a, std::size_t a_count,
+                          const std::uint8_t* b, std::size_t b_count,
+                          std::size_t stride, std::vector<std::uint8_t>& out) {
+  subtract_impl(a, a_count, b, b_count, stride, out, resolve_compare());
+}
+
+void subtract_sorted_rows_scalar(const std::uint8_t* a, std::size_t a_count,
+                                 const std::uint8_t* b, std::size_t b_count,
+                                 std::size_t stride,
+                                 std::vector<std::uint8_t>& out) {
+  subtract_impl(a, a_count, b, b_count, stride, out, &compare_rows_scalar);
+}
+
+void merge_sorted_rows(const std::uint8_t* a, std::size_t a_count,
+                       const std::uint8_t* b, std::size_t b_count,
+                       std::size_t stride, std::vector<std::uint8_t>& out) {
+  merge_impl(a, a_count, b, b_count, stride, out, resolve_compare());
+}
+
+void merge_sorted_rows_scalar(const std::uint8_t* a, std::size_t a_count,
+                              const std::uint8_t* b, std::size_t b_count,
+                              std::size_t stride,
+                              std::vector<std::uint8_t>& out) {
+  merge_impl(a, a_count, b, b_count, stride, out, &compare_rows_scalar);
+}
+
+// --- batched complex GEMM ---------------------------------------------------
+
+#ifdef QSYN_HAVE_BLAS
+extern "C" void cblas_zgemm(int layout, int trans_a, int trans_b, int m,
+                            int n, int k, const void* alpha, const void* a,
+                            int lda, const void* b, int ldb, const void* beta,
+                            void* c, int ldc);
+#endif
+
+bool blas_compiled_in() {
+#ifdef QSYN_HAVE_BLAS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Hand-written k-major kernel: C accumulates one scaled row of B per
+/// non-zero A entry, with the complex arithmetic spelled out over the
+/// interleaved (re, im) doubles so the inner loop is a straight fma chain
+/// the compiler vectorizes (std::complex operator* would route through the
+/// NaN-checking __muldc3 helper instead). Block unitaries are mostly zeros
+/// (permutation-like with small mixing blocks), so the zero skip removes
+/// the bulk of the work exactly.
+void gemm_hand(const Complex* a, const Complex* b, Complex* c, std::size_t m,
+               std::size_t k, std::size_t n) {
+  std::fill(c, c + m * n, Complex(0.0, 0.0));
+  const double* bd = reinterpret_cast<const double*>(b);
+  double* cd = reinterpret_cast<double*>(c);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Complex* ai = a + i * k;
+    double* ci = cd + 2 * i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double ar = ai[p].real();
+      const double aj = ai[p].imag();
+      if (ar == 0.0 && aj == 0.0) continue;
+      const double* bp = bd + 2 * p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double br = bp[2 * j];
+        const double bi = bp[2 * j + 1];
+        ci[2 * j] += ar * br - aj * bi;
+        ci[2 * j + 1] += ar * bi + aj * br;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Complex* a, const Complex* b, Complex* c, std::size_t m,
+          std::size_t k, std::size_t n, bool prefer_blas) {
+#ifdef QSYN_HAVE_BLAS
+  if (prefer_blas) {
+    constexpr int kRowMajor = 101;  // CblasRowMajor
+    constexpr int kNoTrans = 111;   // CblasNoTrans
+    const Complex one(1.0, 0.0);
+    const Complex zero(0.0, 0.0);
+    cblas_zgemm(kRowMajor, kNoTrans, kNoTrans, static_cast<int>(m),
+                static_cast<int>(n), static_cast<int>(k), &one, a,
+                static_cast<int>(k), b, static_cast<int>(n), &zero, c,
+                static_cast<int>(n));
+    return;
+  }
+#else
+  (void)prefer_blas;
+#endif
+  gemm_hand(a, b, c, m, k, n);
+}
+
+}  // namespace qsyn::simd

@@ -1,0 +1,134 @@
+// qsyn/common/simd/kernels.h
+//
+// Vectorized data-plane kernels shared by the synthesis stores and the
+// simulation engine — the two measured hot loops the rest of qsyn funnels
+// into:
+//
+//  * Fixed-width row set algebra. FlatPermStore (and through it
+//    ShardedPermStore and the SealedRun streaming merges) stores
+//    permutations as fixed-width big-endian label rows whose raw-byte
+//    memcmp order equals label order. The kernels here give that algebra a
+//    runtime-dispatched row compare (AVX2 on x86-64, NEON on AArch64,
+//    scalar memcmp everywhere else) and replace the index-indirect
+//    std::sort in sort_unique with an LSD radix sort over an 8-byte
+//    big-endian key window (positioned past the rows' common prefix, with
+//    full-row tie-breaking), so the sweep cost scales with row bytes moved
+//    instead of comparator calls. Every kernel produces the canonical
+//    sorted-unique byte sequence, so scalar and vectorized sweeps are
+//    byte-identical by construction — tests/test_kernels.cpp pins that.
+//
+//  * Batched complex GEMM. The fused simulation path applies each folded
+//    block unitary to a dense 2^n x batch column matrix as one hand-blocked
+//    matrix-matrix product (sim/fused.h apply_to_basis_columns) instead of
+//    one basis column at a time. An optional CBLAS backend sits behind the
+//    QSYN_WITH_BLAS CMake option and SimOptions::blas_gemm.
+//
+// Dispatch: active_engine() picks the widest engine the host supports,
+// unless the QSYN_SIMD environment variable says off/0/scalar/false (the
+// kill-switch) or a test called force_scalar(true). The scalar fallbacks
+// are the pre-kernel reference implementations, kept callable directly
+// (the *_scalar entry points) so differential suites can compare engines
+// inside one process.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qsyn::simd {
+
+/// The row-compare engine actually running. kScalar when the host has no
+/// supported vector unit, when QSYN_SIMD disables it, or when
+/// force_scalar(true) is in effect.
+enum class Engine { kScalar, kAvx2, kNeon };
+
+/// The engine the dispatched kernels use right now (hardware capability
+/// gated by the QSYN_SIMD kill-switch and force_scalar()).
+[[nodiscard]] Engine active_engine();
+
+/// Human-readable engine name ("scalar", "avx2", "neon").
+[[nodiscard]] const char* engine_name(Engine engine);
+[[nodiscard]] inline const char* active_engine_name() {
+  return engine_name(active_engine());
+}
+
+/// Runtime override for tests and benches: force_scalar(true) makes every
+/// dispatched kernel (and the GEMM-batched simulation path) take the scalar
+/// reference route, exactly like QSYN_SIMD=off. Thread-safe toggle.
+void force_scalar(bool on);
+
+/// True when the scalar route is forced — by force_scalar(true) or by
+/// QSYN_SIMD set to off/0/scalar/false in the environment.
+[[nodiscard]] bool scalar_forced();
+
+// --- row compares -----------------------------------------------------------
+
+/// memcmp-semantics comparison of two `stride`-byte rows (sign of the first
+/// differing byte as unsigned), through the active engine.
+[[nodiscard]] int compare_rows(const std::uint8_t* a, const std::uint8_t* b,
+                               std::size_t stride);
+
+/// The scalar reference (plain memcmp).
+[[nodiscard]] int compare_rows_scalar(const std::uint8_t* a,
+                                      const std::uint8_t* b,
+                                      std::size_t stride);
+
+// --- sorted-row set algebra -------------------------------------------------
+//
+// All functions below treat (rows, count, stride) as `count` contiguous
+// fixed-width rows and produce canonical results: output rows are sorted
+// ascending in memcmp order and duplicate-free (given sorted inputs for the
+// binary operations), appended to `out` (cleared first). The dispatched
+// entry points route through the active engine; the *_scalar variants are
+// the historical FlatPermStore loops, verbatim.
+
+/// Sorts `count` rows and drops duplicates. Dispatched: LSD radix sort
+/// (vector engines) or indirect std::sort + memcmp (scalar).
+void sort_unique_rows(const std::uint8_t* rows, std::size_t count,
+                      std::size_t stride, std::vector<std::uint8_t>& out);
+void sort_unique_rows_scalar(const std::uint8_t* rows, std::size_t count,
+                             std::size_t stride,
+                             std::vector<std::uint8_t>& out);
+/// The radix engine directly (callable under force_scalar for tests).
+void sort_unique_rows_radix(const std::uint8_t* rows, std::size_t count,
+                            std::size_t stride,
+                            std::vector<std::uint8_t>& out);
+
+/// Set difference a \ b over sorted, duplicate-free row ranges.
+void subtract_sorted_rows(const std::uint8_t* a, std::size_t a_count,
+                          const std::uint8_t* b, std::size_t b_count,
+                          std::size_t stride, std::vector<std::uint8_t>& out);
+void subtract_sorted_rows_scalar(const std::uint8_t* a, std::size_t a_count,
+                                 const std::uint8_t* b, std::size_t b_count,
+                                 std::size_t stride,
+                                 std::vector<std::uint8_t>& out);
+
+/// Sorted union a ∪ b over sorted, duplicate-free row ranges (rows present
+/// in both are kept once).
+void merge_sorted_rows(const std::uint8_t* a, std::size_t a_count,
+                       const std::uint8_t* b, std::size_t b_count,
+                       std::size_t stride, std::vector<std::uint8_t>& out);
+void merge_sorted_rows_scalar(const std::uint8_t* a, std::size_t a_count,
+                              const std::uint8_t* b, std::size_t b_count,
+                              std::size_t stride,
+                              std::vector<std::uint8_t>& out);
+
+// --- batched complex GEMM ---------------------------------------------------
+
+using Complex = std::complex<double>;
+
+/// c (m x n, row-major) = a (m x k, row-major) * b (k x n, row-major).
+/// Hand-blocked kernel: k-major accumulation with zero-entry skipping (gate
+/// block unitaries are sparse), contiguous inner rows so the compiler
+/// vectorizes the fma chain. With `prefer_blas` and a CBLAS implementation
+/// compiled in (QSYN_WITH_BLAS), delegates to cblas_zgemm instead. All qsyn
+/// gate amplitudes are dyadic rationals, so both routes — and any
+/// accumulation order — produce bit-identical results.
+void gemm(const Complex* a, const Complex* b, Complex* c, std::size_t m,
+          std::size_t k, std::size_t n, bool prefer_blas = false);
+
+/// True when a CBLAS backend was compiled in (QSYN_WITH_BLAS).
+[[nodiscard]] bool blas_compiled_in();
+
+}  // namespace qsyn::simd

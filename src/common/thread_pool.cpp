@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/env.h"
 #include "common/error.h"
 
 namespace qsyn {
@@ -104,9 +105,10 @@ void ThreadPool::drain_tasks(std::size_t worker) {
 }
 
 std::size_t ThreadPool::default_thread_count() {
-  if (const char* env = std::getenv("QSYN_THREADS")) {
-    const unsigned long parsed = std::strtoul(env, nullptr, 10);
-    if (parsed >= 1 && parsed <= 1024) return parsed;
+  // Strict parse: "8abc" used to half-apply as 8 threads via strtoul; now
+  // it warns once and falls through to the hardware count.
+  if (const auto parsed = parse_env_size_t("QSYN_THREADS", 1, 1024)) {
+    return *parsed;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

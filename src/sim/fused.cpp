@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "sim/state_vector.h"
 
@@ -11,12 +13,8 @@ namespace qsyn::sim {
 
 SimOptions SimOptions::from_env() {
   SimOptions options;
-  if (const char* env = std::getenv("QSYN_SIM_FUSE")) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed <= 1024) {
-      options.fuse_block = parsed;
-    }
+  if (const auto parsed = parse_env_size_t("QSYN_SIM_FUSE", 0, 1024)) {
+    options.fuse_block = *parsed;
   }
   return options;
 }
@@ -156,6 +154,46 @@ StateVector FusedCascade::apply_to_basis(std::uint32_t bits) const {
     state.apply_unitary(*blocks_[b]);
   }
   return state;
+}
+
+std::vector<StateVector> FusedCascade::apply_to_basis_columns(
+    const std::vector<std::uint32_t>& bits, bool prefer_blas) const {
+  const std::size_t dim = std::size_t(1) << wires_;
+  const std::size_t batch = bits.size();
+  std::vector<StateVector> out;
+  out.reserve(batch);
+  if (batch == 0) return out;
+  for (const std::uint32_t b : bits) {
+    QSYN_CHECK(b < dim, "basis state out of range");
+  }
+  if (blocks_.empty()) {
+    for (const std::uint32_t b : bits) {
+      out.push_back(StateVector::basis(wires_, b));
+    }
+    return out;
+  }
+  // Column j of the working matrix is job j's state. Block 0 acts on basis
+  // columns, so its application is a gather of unitary columns; every
+  // further block is one dim x dim x batch product.
+  std::vector<la::Complex> cur(dim * batch);
+  std::vector<la::Complex> next(dim * batch);
+  const la::Matrix& first = *blocks_[0];
+  for (std::size_t j = 0; j < batch; ++j) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      cur[i * batch + j] = first(i, bits[j]);
+    }
+  }
+  for (std::size_t b = 1; b < blocks_.size(); ++b) {
+    simd::gemm(blocks_[b]->data().data(), cur.data(), next.data(), dim, dim,
+               batch, prefer_blas);
+    cur.swap(next);
+  }
+  for (std::size_t j = 0; j < batch; ++j) {
+    la::Vector amps(dim);
+    for (std::size_t i = 0; i < dim; ++i) amps[i] = cur[i * batch + j];
+    out.push_back(StateVector::from_amplitudes(std::move(amps)));
+  }
+  return out;
 }
 
 la::Matrix FusedCascade::unitary() const {

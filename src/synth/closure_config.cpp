@@ -1,12 +1,21 @@
 #include "synth/closure_config.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 
 namespace qsyn::synth {
+
+namespace {
+
+std::atomic<std::size_t> g_spill_dir_fallbacks{0};
+
+}  // namespace
 
 std::size_t resolve_threads(std::size_t requested) {
   return requested != 0 ? requested : ThreadPool::default_thread_count();
@@ -27,9 +36,11 @@ std::size_t resolve_shards(std::size_t requested, std::size_t threads) {
 
 std::size_t resolve_spill_budget(std::size_t requested_bytes) {
   if (requested_bytes != 0) return requested_bytes;
-  if (const char* env = std::getenv("QSYN_SPILL_BUDGET_MB")) {
-    const unsigned long mib = std::strtoul(env, nullptr, 10);
-    if (mib > 0) return static_cast<std::size_t>(mib) << 20;
+  // Strict parse: "64abc" used to half-apply as 64 MiB via strtoul; now it
+  // warns once and falls through to unlimited.
+  if (const auto mib = parse_env_size_t("QSYN_SPILL_BUDGET_MB", 1,
+                                        std::size_t(-1) >> 20)) {
+    return *mib << 20;
   }
   return 0;  // unlimited: never spill
 }
@@ -41,9 +52,25 @@ std::string resolve_spill_dir(const std::string& requested) {
   }
   std::error_code ec;
   const std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
-  // An unresolvable temp dir degrades to the working directory; the first
-  // spill write reports qsyn::IoError if that too is unusable.
-  return ec ? std::string(".") : tmp.string();
+  if (!ec) return tmp.string();
+  // An unresolvable temp dir degrades to the working directory — loudly:
+  // warn once and tick the fallback counter so run files appearing in the
+  // CWD are attributable. The first spill write still reports
+  // qsyn::IoError if "." too is unusable.
+  g_spill_dir_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "qsyn: system temp dir unresolvable (%s); spill files will "
+                 "land in the working directory — set QSYN_SPILL_DIR or "
+                 "ClosureConfig::spill_dir\n",
+                 ec.message().c_str());
+  }
+  return std::string(".");
+}
+
+std::size_t spill_dir_fallback_count() {
+  return g_spill_dir_fallbacks.load(std::memory_order_relaxed);
 }
 
 }  // namespace qsyn::synth

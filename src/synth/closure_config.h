@@ -78,6 +78,14 @@ struct ClosureConfig {
 [[nodiscard]] std::size_t resolve_spill_budget(std::size_t requested_bytes);
 
 /// Resolved spill directory: explicit > QSYN_SPILL_DIR > system temp dir.
+/// When the system temp dir itself is unresolvable the result degrades to
+/// "." — observably: a one-time stderr warning fires and
+/// spill_dir_fallback_count() ticks, so run files appearing in the working
+/// directory can be traced instead of silently scattering.
 [[nodiscard]] std::string resolve_spill_dir(const std::string& requested);
+
+/// Number of times resolve_spill_dir fell back to "." because the system
+/// temporary directory could not be resolved (process lifetime counter).
+[[nodiscard]] std::size_t spill_dir_fallback_count();
 
 }  // namespace qsyn::synth

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <numeric>
 #include <utility>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 
 namespace qsyn::synth {
 
@@ -163,25 +163,11 @@ void FlatPermStore::sort_unique() {
   ensure_writable();
   const std::size_t n = size();
   if (n <= 1) return;
-  // Indirect sort: order row indices, then gather into a fresh buffer.
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  const std::uint8_t* base = view_data_;
-  const std::size_t w = stride_;
-  std::sort(order.begin(), order.end(),
-            [base, w](std::uint32_t a, std::uint32_t b) {
-              return std::memcmp(base + std::size_t(a) * w,
-                                 base + std::size_t(b) * w, w) < 0;
-            });
+  // Dispatched kernel: LSD radix over the big-endian rows on vector
+  // engines, the historical indirect std::sort on scalar. Both produce the
+  // canonical sorted-unique byte sequence.
   std::vector<std::uint8_t> sorted;
-  sorted.reserve(view_bytes_);
-  const std::uint8_t* prev = nullptr;
-  for (const std::uint32_t idx : order) {
-    const std::uint8_t* r = base + std::size_t(idx) * w;
-    if (prev != nullptr && std::memcmp(prev, r, w) == 0) continue;
-    sorted.insert(sorted.end(), r, r + w);
-    prev = sorted.data() + sorted.size() - w;
-  }
+  simd::sort_unique_rows(view_data_, n, stride_, sorted);
   commit_bytes(std::move(sorted));
 }
 
@@ -190,27 +176,8 @@ void FlatPermStore::subtract_sorted(const FlatPermStore& other) {
   ensure_writable();
   if (empty() || other.empty()) return;
   std::vector<std::uint8_t> kept;
-  kept.reserve(view_bytes_);
-  const std::size_t w = stride_;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  const std::size_t n = size();
-  const std::size_t m = other.size();
-  while (i < n) {
-    if (j == m) {
-      kept.insert(kept.end(), view_data_ + i * w, view_data_ + view_bytes_);
-      break;
-    }
-    const int cmp = std::memcmp(row(i), other.row(j), w);
-    if (cmp < 0) {
-      kept.insert(kept.end(), row(i), row(i) + w);
-      ++i;
-    } else if (cmp > 0) {
-      ++j;
-    } else {
-      ++i;  // drop: present in other
-    }
-  }
+  simd::subtract_sorted_rows(view_data_, size(), other.view_data_,
+                             other.size(), stride_, kept);
   commit_bytes(std::move(kept));
 }
 
@@ -219,30 +186,8 @@ void FlatPermStore::merge_sorted(const FlatPermStore& other) {
   ensure_writable();
   if (other.empty()) return;
   std::vector<std::uint8_t> merged;
-  merged.reserve(view_bytes_ + other.view_bytes_);
-  const std::size_t w = stride_;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  const std::size_t n = size();
-  const std::size_t m = other.size();
-  while (i < n && j < m) {
-    const int cmp = std::memcmp(row(i), other.row(j), w);
-    if (cmp <= 0) {
-      merged.insert(merged.end(), row(i), row(i) + w);
-      if (cmp == 0) ++j;  // keep duplicates once
-      ++i;
-    } else {
-      merged.insert(merged.end(), other.row(j), other.row(j) + w);
-      ++j;
-    }
-  }
-  if (i < n) {
-    merged.insert(merged.end(), view_data_ + i * w, view_data_ + view_bytes_);
-  }
-  if (j < m) {
-    merged.insert(merged.end(), other.view_data_ + j * w,
-                  other.view_data_ + other.view_bytes_);
-  }
+  simd::merge_sorted_rows(view_data_, size(), other.view_data_, other.size(),
+                          stride_, merged);
   commit_bytes(std::move(merged));
 }
 
@@ -252,7 +197,7 @@ bool FlatPermStore::contains_sorted(const std::uint8_t* row_bytes) const {
   std::size_t hi = size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    const int cmp = std::memcmp(row(mid), row_bytes, w);
+    const int cmp = simd::compare_rows(row(mid), row_bytes, w);
     if (cmp == 0) return true;
     if (cmp < 0) {
       lo = mid + 1;

@@ -1,0 +1,534 @@
+// Differential suites for the vectorized kernels layer
+// (common/simd/kernels.h): the radix sort and the vector row compares
+// against the scalar references across the real row shapes (widths
+// 8/38/176/782, one- and two-byte labels), the spilled ShardedPermStore
+// merge under both engines, the GEMM-batched fused path against the
+// per-column path, and the strict env parser behind the QSYN_* knobs.
+//
+// These run under the `kernels` ctest label in the sanitizer presets (asan
+// whole-binary, tsan via the label filter) on top of the per-TEST `unit`
+// registration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/simd/kernels.h"
+#include "common/thread_pool.h"
+#include "gates/cascade.h"
+#include "gates/library.h"
+#include "la/matrix.h"
+#include "mvl/domain.h"
+#include "sim/batch.h"
+#include "sim/fused.h"
+#include "sim/state_vector.h"
+#include "synth/flat_perm_store.h"
+#include "synth/sharded_perm_store.h"
+
+namespace qsyn {
+namespace {
+
+using synth::FlatPermStore;
+using synth::ShardedPermStore;
+using synth::SpillOptions;
+
+using Row = std::vector<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Forces the scalar engine for the guard's lifetime.
+class ScopedScalar {
+ public:
+  ScopedScalar() { simd::force_scalar(true); }
+  ~ScopedScalar() { simd::force_scalar(false); }
+};
+
+int sign_of(int v) { return (v > 0) - (v < 0); }
+
+/// The FMCF row shapes: label widths 8/38/176 pack one byte per label,
+/// width 782 packs two (stride 1564) — see FlatPermStore.
+const std::size_t kStrides[] = {8, 38, 176, 782, 1564};
+
+/// `count` rows whose first `shared` bytes are a fixed prefix and whose
+/// remaining bytes draw from a small alphabet — dials duplicate density and
+/// the radix key window position at once.
+Bytes rows_with_prefix(Rng& rng, std::size_t count, std::size_t stride,
+                       std::size_t shared, std::uint32_t alphabet) {
+  Bytes rows(count * stride);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t b = 0; b < stride; ++b) {
+      rows[i * stride + b] =
+          b < shared ? static_cast<std::uint8_t>(0xA0 + b % 8)
+                     : static_cast<std::uint8_t>(rng.below(alphabet));
+    }
+  }
+  return rows;
+}
+
+std::set<Row> row_set(const Bytes& rows, std::size_t stride) {
+  std::set<Row> out;
+  for (std::size_t at = 0; at < rows.size(); at += stride) {
+    out.insert(Row(rows.begin() + at, rows.begin() + at + stride));
+  }
+  return out;
+}
+
+Bytes canonical_bytes(const std::set<Row>& model) {
+  Bytes out;
+  for (const Row& row : model) out.insert(out.end(), row.begin(), row.end());
+  return out;
+}
+
+// --- row compares -----------------------------------------------------------
+
+TEST(KernelCompare, MatchesMemcmpAcrossWidthsAndEngines) {
+  Rng rng(901);
+  for (const std::size_t stride :
+       {std::size_t(1), std::size_t(7), std::size_t(8), std::size_t(31),
+        std::size_t(32), std::size_t(33), std::size_t(38), std::size_t(176),
+        std::size_t(782), std::size_t(1564)}) {
+    for (int trial = 0; trial < 64; ++trial) {
+      Row a(stride);
+      for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.below(256));
+      Row b = a;
+      if (trial % 4 != 0) {
+        // Flip one byte; every position (including the last) is exercised.
+        const std::size_t at = rng.below(static_cast<std::uint32_t>(stride));
+        b[at] = static_cast<std::uint8_t>(b[at] ^ (1 + rng.below(255)));
+      }
+      const int reference = sign_of(std::memcmp(a.data(), b.data(), stride));
+      EXPECT_EQ(sign_of(simd::compare_rows(a.data(), b.data(), stride)),
+                reference);
+      EXPECT_EQ(
+          sign_of(simd::compare_rows_scalar(a.data(), b.data(), stride)),
+          reference);
+      ScopedScalar scalar;
+      EXPECT_EQ(sign_of(simd::compare_rows(a.data(), b.data(), stride)),
+                reference);
+    }
+  }
+}
+
+TEST(KernelDispatch, ForceScalarAndKillSwitchReporting) {
+  EXPECT_STREQ(simd::engine_name(simd::Engine::kScalar), "scalar");
+  EXPECT_STREQ(simd::engine_name(simd::Engine::kAvx2), "avx2");
+  EXPECT_STREQ(simd::engine_name(simd::Engine::kNeon), "neon");
+  {
+    ScopedScalar scalar;
+    EXPECT_TRUE(simd::scalar_forced());
+    EXPECT_EQ(simd::active_engine(), simd::Engine::kScalar);
+    EXPECT_STREQ(simd::active_engine_name(), "scalar");
+  }
+  EXPECT_FALSE(simd::scalar_forced() &&
+               simd::active_engine() != simd::Engine::kScalar);
+}
+
+// --- sort_unique ------------------------------------------------------------
+
+TEST(KernelSortUnique, RadixMatchesScalarAndModelRandomized) {
+  Rng rng(902);
+  for (const std::size_t stride : kStrides) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t count = 1 + rng.below(300);
+      // Shared prefixes up to and past the 8-byte key window, alphabets down
+      // to 2 so duplicate and tie groups are dense.
+      const std::size_t shared =
+          std::min<std::size_t>(stride - 1, rng.below(20));
+      const std::uint32_t alphabet = 2 + rng.below(250);
+      const Bytes rows = rows_with_prefix(rng, count, stride, shared, alphabet);
+
+      Bytes scalar;
+      Bytes radix;
+      simd::sort_unique_rows_scalar(rows.data(), count, stride, scalar);
+      simd::sort_unique_rows_radix(rows.data(), count, stride, radix);
+      EXPECT_EQ(radix, scalar);
+      EXPECT_EQ(scalar, canonical_bytes(row_set(rows, stride)));
+
+      Bytes dispatched;
+      simd::sort_unique_rows(rows.data(), count, stride, dispatched);
+      EXPECT_EQ(dispatched, scalar);
+    }
+  }
+}
+
+TEST(KernelSortUnique, AdversarialTieShapes) {
+  // All-identical rows, rows identical through the key window, and
+  // single-row inputs — the tie-break and dedup corner cases.
+  for (const std::size_t stride : {std::size_t(8), std::size_t(38)}) {
+    Bytes all_same(20 * stride, 0x5A);
+    Bytes out;
+    simd::sort_unique_rows_radix(all_same.data(), 20, stride, out);
+    EXPECT_EQ(out, Bytes(all_same.begin(), all_same.begin() + stride));
+
+    Rng rng(903);
+    // Identical first min(stride-1, 12) bytes, differing only in the tail —
+    // the key window alone cannot discriminate these.
+    const std::size_t shared = std::min<std::size_t>(stride - 1, 12);
+    const Bytes rows = rows_with_prefix(rng, 64, stride, shared, 2);
+    Bytes scalar;
+    simd::sort_unique_rows_scalar(rows.data(), 64, stride, scalar);
+    simd::sort_unique_rows_radix(rows.data(), 64, stride, out);
+    EXPECT_EQ(out, scalar);
+
+    simd::sort_unique_rows_radix(rows.data(), 1, stride, out);
+    EXPECT_EQ(out, Bytes(rows.begin(), rows.begin() + stride));
+    simd::sort_unique_rows_radix(rows.data(), 0, stride, out);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+// --- subtract / merge -------------------------------------------------------
+
+TEST(KernelSetAlgebra, SubtractAndMergeMatchModelAndScalar) {
+  Rng rng(904);
+  for (const std::size_t stride : kStrides) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::uint32_t alphabet = 2 + rng.below(30);
+      const Bytes raw_a =
+          rows_with_prefix(rng, 1 + rng.below(200), stride, 2, alphabet);
+      const Bytes raw_b =
+          rows_with_prefix(rng, 1 + rng.below(200), stride, 2, alphabet);
+      Bytes a;
+      Bytes b;
+      simd::sort_unique_rows_scalar(raw_a.data(), raw_a.size() / stride,
+                                    stride, a);
+      simd::sort_unique_rows_scalar(raw_b.data(), raw_b.size() / stride,
+                                    stride, b);
+      const std::set<Row> model_a = row_set(a, stride);
+      const std::set<Row> model_b = row_set(b, stride);
+
+      std::set<Row> difference;
+      std::set<Row> united = model_b;
+      for (const Row& row : model_a) {
+        if (model_b.count(row) == 0) difference.insert(row);
+        united.insert(row);
+      }
+
+      Bytes out;
+      simd::subtract_sorted_rows(a.data(), a.size() / stride, b.data(),
+                                 b.size() / stride, stride, out);
+      EXPECT_EQ(out, canonical_bytes(difference));
+      simd::subtract_sorted_rows_scalar(a.data(), a.size() / stride, b.data(),
+                                        b.size() / stride, stride, out);
+      EXPECT_EQ(out, canonical_bytes(difference));
+
+      simd::merge_sorted_rows(a.data(), a.size() / stride, b.data(),
+                              b.size() / stride, stride, out);
+      EXPECT_EQ(out, canonical_bytes(united));
+      simd::merge_sorted_rows_scalar(a.data(), a.size() / stride, b.data(),
+                                     b.size() / stride, stride, out);
+      EXPECT_EQ(out, canonical_bytes(united));
+    }
+  }
+}
+
+// --- FlatPermStore / spilled merges across engines --------------------------
+
+Row random_label_row(Rng& rng, std::size_t width) {
+  Row row(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    row[i] = static_cast<std::uint8_t>(
+        rng.below(static_cast<std::uint32_t>(width)));
+  }
+  return row;
+}
+
+/// Runs a closure-shaped op sequence (sort chunks, subtract against the
+/// store, merge survivors) through a spilled ShardedPermStore and returns
+/// the drained bytes. Deterministic for a seed, so a vector-engine run and
+/// a forced-scalar run must agree byte for byte.
+Bytes spilled_drain_bytes(std::uint32_t seed, bool scalar) {
+  std::optional<ScopedScalar> guard;
+  if (scalar) guard.emplace();
+  Rng rng(seed);
+  const std::size_t width = 4 + rng.below(8);
+  const std::size_t shards = 1 + rng.below(4);
+  ShardedPermStore store(
+      width, shards,
+      SpillOptions{shards * (128 + rng.below(512)), ::testing::TempDir()});
+  for (int round = 0; round < 6; ++round) {
+    std::vector<FlatPermStore> chunks(shards, FlatPermStore(width));
+    const std::size_t count = 1 + rng.below(400);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Row row = random_label_row(rng, width);
+      chunks[store.shard_of(row.data())].push_back(row.data());
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (chunks[s].empty()) continue;
+      chunks[s].sort_unique();
+      store.subtract_shard_from(s, chunks[s]);
+      store.merge_into_shard(s, chunks[s]);
+    }
+  }
+  EXPECT_TRUE(store.spilled());
+  const FlatPermStore drained = store.drain_sorted();
+  return Bytes(drained.data(), drained.data() + drained.size_bytes());
+}
+
+TEST(KernelSpillMerge, SpilledDrainByteIdenticalAcrossEngines) {
+  for (std::uint32_t seed = 9050; seed < 9056; ++seed) {
+    EXPECT_EQ(spilled_drain_bytes(seed, /*scalar=*/false),
+              spilled_drain_bytes(seed, /*scalar=*/true))
+        << "seed " << seed;
+  }
+}
+
+TEST(KernelStoreAlgebra, FlatStoreByteIdenticalAcrossEngines) {
+  for (std::uint32_t seed = 9060; seed < 9066; ++seed) {
+    Bytes outputs[2];
+    for (const bool scalar : {false, true}) {
+      std::optional<ScopedScalar> guard;
+      if (scalar) guard.emplace();
+      Rng rng(seed);
+      const std::size_t width = 4 + rng.below(8);
+      FlatPermStore seen(width);
+      for (int round = 0; round < 5; ++round) {
+        FlatPermStore chunk(width);
+        for (int i = 0; i < 200; ++i) {
+          chunk.push_back(random_label_row(rng, width).data());
+        }
+        chunk.sort_unique();
+        chunk.subtract_sorted(seen);
+        seen.merge_sorted(chunk);
+      }
+      outputs[scalar ? 1 : 0] =
+          Bytes(seen.data(), seen.data() + seen.size_bytes());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]) << "seed " << seed;
+  }
+}
+
+// --- batched GEMM -----------------------------------------------------------
+
+TEST(KernelGemm, MatchesPerColumnReference) {
+  Rng rng(905);
+  for (const std::size_t dim : {std::size_t(2), std::size_t(8),
+                                std::size_t(16)}) {
+    for (const std::size_t batch :
+         {std::size_t(1), std::size_t(3), std::size_t(17)}) {
+      std::vector<simd::Complex> a(dim * dim);
+      std::vector<simd::Complex> b(dim * batch);
+      for (auto& entry : a) {
+        // Sparse like block unitaries: most entries exactly zero.
+        entry = rng.below(4) == 0
+                    ? simd::Complex(rng.uniform() - 0.5, rng.uniform() - 0.5)
+                    : simd::Complex(0.0, 0.0);
+      }
+      for (auto& entry : b) {
+        entry = simd::Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+      }
+      std::vector<simd::Complex> c(dim * batch);
+      simd::gemm(a.data(), b.data(), c.data(), dim, dim, batch);
+      for (std::size_t j = 0; j < batch; ++j) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          simd::Complex expected(0.0, 0.0);
+          for (std::size_t p = 0; p < dim; ++p) {
+            expected += a[i * dim + p] * b[p * batch + j];
+          }
+          EXPECT_NEAR(std::abs(c[i * batch + j] - expected), 0.0, 1e-12)
+              << "dim " << dim << " batch " << batch;
+        }
+      }
+    }
+  }
+}
+
+gates::Cascade random_reasonable_cascade(Rng& rng,
+                                         const gates::GateLibrary& library,
+                                         std::size_t length) {
+  gates::Cascade c(library.domain().wires());
+  for (std::size_t i = 0; i < length; ++i) {
+    for (int tries = 0; tries < 64; ++tries) {
+      gates::Cascade extended = c;
+      extended.append(library.gate(rng.below(
+          static_cast<std::uint32_t>(library.size()))));
+      if (extended.is_reasonable(library.domain())) {
+        c = std::move(extended);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+TEST(GemmBatch, ColumnsMatchPerBasisApplication) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  Rng rng(906);
+  sim::UnitaryCache cache;
+  for (int trial = 0; trial < 12; ++trial) {
+    const gates::Cascade cascade =
+        random_reasonable_cascade(rng, library, 2 + rng.below(14));
+    const sim::FusedCascade fused(cascade, 1 + rng.below(6), cache);
+    const std::size_t dim = std::size_t(1) << cascade.wires();
+    std::vector<std::uint32_t> bits;
+    for (std::uint32_t b = 0; b < dim; ++b) bits.push_back(b);
+    bits.push_back(0);  // duplicated inputs are legal batch members
+    const std::vector<sim::StateVector> batched =
+        fused.apply_to_basis_columns(bits);
+    ASSERT_EQ(batched.size(), bits.size());
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      const sim::StateVector expected = fused.apply_to_basis(bits[j]);
+      // Dyadic amplitudes: the GEMM reorder is exact, not just close.
+      EXPECT_EQ(batched[j].distance_to(expected), 0.0)
+          << "trial " << trial << " input " << bits[j];
+    }
+  }
+}
+
+TEST(GemmBatch, BatchSimulatorBitIdenticalWithAndWithoutGemm) {
+  const mvl::PatternDomain domain = mvl::PatternDomain::reduced(3);
+  const gates::GateLibrary library(domain);
+  Rng rng(907);
+  std::vector<gates::Cascade> cascades;
+  for (int i = 0; i < 10; ++i) {
+    cascades.push_back(
+        random_reasonable_cascade(rng, library, 3 + rng.below(12)));
+  }
+  std::vector<sim::SimJob> jobs;
+  for (const gates::Cascade& c : cascades) {
+    for (std::uint32_t bits = 0; bits < (1u << c.wires()); ++bits) {
+      jobs.push_back(sim::SimJob{&c, bits});
+    }
+  }
+
+  sim::SimOptions gemm_options;
+  gemm_options.fuse_block = 4;
+  gemm_options.threads = 2;
+  gemm_options.gemm_batch = true;
+  sim::SimOptions column_options = gemm_options;
+  column_options.gemm_batch = false;
+  sim::BatchSimulator gemm_sim(gemm_options);
+  sim::BatchSimulator column_sim(column_options);
+  const std::vector<la::Vector> with_gemm = gemm_sim.run(jobs);
+  const std::vector<la::Vector> without = column_sim.run(jobs);
+  ASSERT_EQ(with_gemm.size(), without.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(with_gemm[i].size(), without[i].size());
+    for (std::size_t k = 0; k < with_gemm[i].size(); ++k) {
+      EXPECT_EQ(with_gemm[i][k], without[i][k]) << "job " << i;
+    }
+  }
+
+  // The soundness sweep agrees verdict for verdict, and force_scalar sends
+  // the batch path back to per-column without changing results.
+  std::vector<const gates::Cascade*> pointers;
+  for (const gates::Cascade& c : cascades) pointers.push_back(&c);
+  const std::vector<char> gemm_verdicts =
+      gemm_sim.check_mv_model(pointers, domain, 1e-9);
+  const std::vector<char> column_verdicts =
+      column_sim.check_mv_model(pointers, domain, 1e-9);
+  EXPECT_EQ(gemm_verdicts, column_verdicts);
+  {
+    ScopedScalar scalar;
+    EXPECT_EQ(gemm_sim.check_mv_model(pointers, domain, 1e-9),
+              column_verdicts);
+  }
+}
+
+// --- strict env parsing -----------------------------------------------------
+
+#ifndef _WIN32
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(ParseEnvSizeT, StrictWholeValueParsing) {
+  EnvGuard guard("QSYN_TEST_PARSE");
+  reset_env_warnings_for_testing();
+
+  ::unsetenv("QSYN_TEST_PARSE");
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", "", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+
+  ::setenv("QSYN_TEST_PARSE", "42", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), 42u);
+  ::setenv("QSYN_TEST_PARSE", "1", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), 1u);
+  ::setenv("QSYN_TEST_PARSE", "100", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), 100u);
+
+  // The strtoul bug class: trailing garbage must not half-apply.
+  ::setenv("QSYN_TEST_PARSE", "8abc", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", " 8", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", "-3", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", "0x10", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+
+  // Out of range, including values that would overflow size_t.
+  ::setenv("QSYN_TEST_PARSE", "0", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", "101", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  ::setenv("QSYN_TEST_PARSE", "99999999999999999999999999", 1);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 1, 100), std::nullopt);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_PARSE", 0, std::size_t(-1)),
+            std::nullopt);
+}
+
+TEST(ParseEnvSizeT, MalformedValueWarnsOnce) {
+  EnvGuard guard("QSYN_TEST_WARN");
+  reset_env_warnings_for_testing();
+  ::setenv("QSYN_TEST_WARN", "12junk", 1);
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_WARN", 1, 100), std::nullopt);
+  EXPECT_EQ(parse_env_size_t("QSYN_TEST_WARN", 1, 100), std::nullopt);
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warnings.find("QSYN_TEST_WARN"), std::string::npos);
+  EXPECT_NE(warnings.find("12junk"), std::string::npos);
+  // Once per name, no matter how many reads.
+  EXPECT_EQ(warnings.find("QSYN_TEST_WARN"),
+            warnings.rfind("QSYN_TEST_WARN"));
+  reset_env_warnings_for_testing();
+}
+
+TEST(ParseEnvSizeT, ThreadAndFuseKnobsRejectTrailingGarbage) {
+  // The two user-facing regressions: QSYN_THREADS=8abc must not run 8
+  // workers, and QSYN_SIM_FUSE keeps its strictness through the shared
+  // parser.
+  EnvGuard threads_guard("QSYN_THREADS");
+  EnvGuard fuse_guard("QSYN_SIM_FUSE");
+  reset_env_warnings_for_testing();
+
+  ::setenv("QSYN_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ::setenv("QSYN_THREADS", "8abc", 1);
+  EXPECT_NE(ThreadPool::default_thread_count(), 8u);
+
+  ::setenv("QSYN_SIM_FUSE", "7", 1);
+  EXPECT_EQ(sim::SimOptions::from_env().fuse_block, 7u);
+  ::setenv("QSYN_SIM_FUSE", "7junk", 1);
+  EXPECT_EQ(sim::SimOptions::from_env().fuse_block, sim::kDefaultFuseBlock);
+  ::setenv("QSYN_SIM_FUSE", "0", 1);
+  EXPECT_EQ(sim::SimOptions::from_env().fuse_block, 0u);
+  reset_env_warnings_for_testing();
+}
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace qsyn

@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <set>
 #include <string>
+#include <system_error>
 #include <type_traits>
 #include <vector>
 
@@ -618,6 +620,57 @@ TEST(ClosureConfigResolution, SpillDirEnvFallback) {
   EXPECT_EQ(resolve_spill_dir("/explicit/wins"), "/explicit/wins");
   ::unsetenv("QSYN_SPILL_DIR");
   EXPECT_FALSE(resolve_spill_dir("").empty());  // system temp dir
+}
+
+TEST(ClosureConfigResolution, SpillBudgetRejectsTrailingGarbage) {
+  // The strtoul regression: "64abc" must not half-apply as a 64 MiB budget.
+  EnvGuard guard("QSYN_SPILL_BUDGET_MB");
+  ::setenv("QSYN_SPILL_BUDGET_MB", "64abc", 1);
+  EXPECT_EQ(resolve_spill_budget(0), 0u);
+  ::setenv("QSYN_SPILL_BUDGET_MB", "0", 1);
+  EXPECT_EQ(resolve_spill_budget(0), 0u);  // below the [1, ...] floor
+  ::setenv("QSYN_SPILL_BUDGET_MB", "64", 1);
+  EXPECT_EQ(resolve_spill_budget(0), std::size_t(64) << 20);
+}
+
+TEST(ClosureConfigResolution, BogusSpillDirIsIoErrorAtFirstSpill) {
+  // A bogus QSYN_SPILL_DIR must surface as qsyn::IoError at the first seal
+  // — not scatter run files into the working directory.
+  EnvGuard guard("QSYN_SPILL_DIR");
+  ::setenv("QSYN_SPILL_DIR", "/nonexistent/qsyn/spill/dir", 1);
+  const std::string dir = resolve_spill_dir("");
+  EXPECT_EQ(dir, "/nonexistent/qsyn/spill/dir");
+  Rng rng(5301);
+  const std::size_t width = 6;
+  ShardedPermStore store(width, 1, SpillOptions{32, dir});
+  FlatPermStore chunk(width);
+  for (int i = 0; i < 64; ++i) {
+    chunk.push_back(random_label_row(rng, width).data());
+  }
+  chunk.sort_unique();
+  EXPECT_THROW(store.merge_into_shard(0, chunk), qsyn::IoError);
+}
+
+TEST(ClosureConfigResolution, TempDirFallbackIsObservable) {
+  // With QSYN_SPILL_DIR unset and the system temp dir unresolvable
+  // (libstdc++ consults TMPDIR first), the "." degradation must be
+  // observable: the fallback counter ticks and a warning lands on stderr
+  // (once per process; a prior test may already have consumed it, so only
+  // the counter is asserted strictly).
+  EnvGuard spill_guard("QSYN_SPILL_DIR");
+  EnvGuard tmp_guard("TMPDIR");
+  ::unsetenv("QSYN_SPILL_DIR");
+  ::setenv("TMPDIR", "/nonexistent/qsyn/tmp", 1);
+  std::error_code ec;
+  std::filesystem::temp_directory_path(ec);
+  if (!ec) {
+    GTEST_SKIP() << "this libstdc++ resolves a temp dir despite bogus TMPDIR";
+  }
+  const std::size_t before = spill_dir_fallback_count();
+  EXPECT_EQ(resolve_spill_dir(""), ".");
+  EXPECT_EQ(spill_dir_fallback_count(), before + 1);
+  EXPECT_EQ(resolve_spill_dir(""), ".");
+  EXPECT_EQ(spill_dir_fallback_count(), before + 2);
 }
 #endif  // !_WIN32
 
