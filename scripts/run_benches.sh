@@ -40,6 +40,16 @@
 # number that replaces the multi-hundred-ms closure sweep), bm_catalog_locate
 # (steady-state single queries), and bm_catalog_server_batch (pooled batch
 # throughput with the witness-cache hit rate as a counter).
+#
+# bench_serve_soak soaks the multi-tenant serving front end
+# (serve/automata_service.h): >= 100k mixed step/sample/distribution
+# requests across automaton and QRNG tenants on n=2..4 cascades, with
+# tenant churn through CatalogServer synthesis and measurement-backend
+# flips mid-traffic. Its counters (rps, p50_us/p99_us from the
+# common/metrics recorders, unitary_cache_hit_rate, witness_cache_hit_rate)
+# are the serving-layer baseline; the "requests served ... (OK)" stdout row
+# flips to DIFFERS if the soak ever falls short of the 100k floor or
+# rejects a request.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -5,7 +5,12 @@
 namespace qsyn::automata {
 
 double outcome_probability(const mvl::Pattern& pattern, std::uint32_t bits) {
-  QSYN_CHECK(bits < (1u << pattern.wires()), "outcome out of range");
+  // 64-bit shift: a 32-bit `1u << wires` is UB at wires >= 32 and silently
+  // wrong at 32-bit boundary widths. Patterns cap at mvl::kMaxWires, but the
+  // guard keeps the contract explicit rather than inherited.
+  QSYN_CHECK(pattern.wires() < 32, "outcome space exceeds 32 bits");
+  QSYN_CHECK(bits < (std::uint64_t(1) << pattern.wires()),
+             "outcome out of range");
   double p = 1.0;
   for (std::size_t w = 0; w < pattern.wires(); ++w) {
     const bool bit = ((bits >> (pattern.wires() - 1 - w)) & 1u) != 0;
@@ -17,7 +22,8 @@ double outcome_probability(const mvl::Pattern& pattern, std::uint32_t bits) {
 }
 
 std::vector<double> outcome_distribution(const mvl::Pattern& pattern) {
-  const std::uint32_t count = 1u << pattern.wires();
+  QSYN_CHECK(pattern.wires() < 32, "outcome space exceeds 32 bits");
+  const std::uint64_t count = std::uint64_t(1) << pattern.wires();
   std::vector<double> dist(count);
   for (std::uint32_t bits = 0; bits < count; ++bits) {
     dist[bits] = outcome_probability(pattern, bits);
@@ -29,11 +35,19 @@ std::uint32_t sample_index(const std::vector<double>& dist, Rng& rng) {
   QSYN_CHECK(!dist.empty(), "cannot sample an empty distribution");
   const double r = rng.uniform();
   double cumulative = 0.0;
+  std::size_t last_nonzero = dist.size();  // sentinel: none seen yet
   for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (dist[i] > 0.0) last_nonzero = i;
     cumulative += dist[i];
     if (r < cumulative) return static_cast<std::uint32_t>(i);
   }
-  return static_cast<std::uint32_t>(dist.size() - 1);  // rounding tail
+  // Rounding tail: the accumulated sum fell short of r (floating-point
+  // shortfall of a nominally-normalized distribution). Land the residual
+  // mass on the last *nonzero* entry — returning the final index
+  // unconditionally could emit an outcome of probability exactly 0.
+  QSYN_CHECK(last_nonzero < dist.size(),
+             "cannot sample a distribution with no positive mass");
+  return static_cast<std::uint32_t>(last_nonzero);
 }
 
 std::uint32_t sample_measurement(const mvl::Pattern& pattern, Rng& rng) {

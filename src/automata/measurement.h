@@ -32,8 +32,10 @@ namespace qsyn::automata {
                                                Rng& rng);
 
 /// Draws an index from an explicit distribution by inverse CDF (one
-/// rng.uniform() per draw; rounding mass lands on the last index). Shared
-/// by every automata component that samples a precomputed outcome law.
+/// rng.uniform() per draw; rounding mass lands on the last index of nonzero
+/// probability, so a zero-probability outcome is never emitted). Throws if
+/// the distribution has no positive entry. Shared by every automata
+/// component that samples a precomputed outcome law.
 [[nodiscard]] std::uint32_t sample_index(const std::vector<double>& dist,
                                          Rng& rng);
 

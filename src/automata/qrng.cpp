@@ -39,7 +39,12 @@ std::vector<std::size_t> ControlledQrng::histogram(std::uint32_t input,
 
 BehavioralProbSpec controlled_coin_spec(std::size_t wires) {
   QSYN_CHECK(wires >= 2, "controlled coin spec needs at least 2 wires");
-  const std::uint32_t count = 1u << wires;
+  // The spec feeds Pattern-based synthesis (capped at mvl::kMaxWires) and
+  // enumerates 2^wires rows below: a 32-bit `1u << wires` would be UB from
+  // wires = 32 on, and silently truncated before that ever mattered.
+  QSYN_CHECK(wires <= mvl::kMaxWires,
+             "controlled coin spec exceeds the pattern wire cap");
+  const std::uint32_t count = std::uint32_t(std::uint64_t(1) << wires);
   std::vector<std::vector<WireBehavior>> rows;
   rows.reserve(count);
   for (std::uint32_t input = 0; input < count; ++input) {

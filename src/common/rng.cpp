@@ -61,4 +61,34 @@ bool Rng::bernoulli(double p) {
   return uniform() < p;
 }
 
+void Rng::jump() {
+  // The reference xoshiro256** jump polynomial (Blackman & Vigna): equivalent
+  // to 2^128 operator() calls.
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (std::uint64_t(1) << bit)) != 0) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::split() {
+  const Rng child = *this;
+  jump();
+  return child;
+}
+
 }  // namespace qsyn

@@ -37,6 +37,19 @@ class Rng {
   /// Bernoulli draw with success probability p (clamped to [0,1]).
   bool bernoulli(double p);
 
+  /// Advances the state by 2^128 draws (the xoshiro256** jump polynomial)
+  /// without generating them. Streams separated by jump() are independent
+  /// for any realistic draw count, so one seed can parameterize many
+  /// non-overlapping generators.
+  void jump();
+
+  /// Splits off an independent child stream: the child continues from the
+  /// current state and *this jumps 2^128 draws ahead. Successive split()
+  /// calls therefore hand out disjoint, reproducible streams — tenant i of a
+  /// serving fleet gets the i-th split of one root seed, and re-seeding the
+  /// root replays every tenant stream exactly (see serve/automata_service.h).
+  [[nodiscard]] Rng split();
+
  private:
   std::uint64_t s_[4];
 };

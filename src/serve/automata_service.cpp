@@ -1,0 +1,309 @@
+#include "serve/automata_service.h"
+
+#include <complex>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "automata/measurement.h"
+#include "la/vector.h"
+#include "mvl/pattern.h"
+
+namespace qsyn::serve {
+
+namespace {
+
+std::vector<double> probabilities(const la::Vector& amplitudes) {
+  std::vector<double> probs(amplitudes.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = std::norm(amplitudes[i]);
+  }
+  return probs;
+}
+
+}  // namespace
+
+AutomataService::AutomataService() : AutomataService(Options{}) {}
+
+AutomataService::AutomataService(Options options)
+    : options_(options),
+      engine_(std::make_unique<sim::BatchSimulator>(options.sim)),
+      root_rng_(options.seed) {}
+
+AutomataService::~AutomataService() = default;
+
+std::uint64_t AutomataService::add_automaton(
+    automata::QuantumAutomaton machine) {
+  // Tenants are always served through the shared engine, so the machine must
+  // not hold a Hilbert engine of its own (its backend setting is replaced by
+  // the per-tenant one here).
+  machine.set_measurement_backend(automata::MeasurementBackend::kMultiValued);
+  std::lock_guard lock(tenants_mutex_);
+  const std::uint64_t id = next_tenant_id_++;
+  Tenant& tenant = tenants_[id];
+  tenant.machine.emplace(std::move(machine));
+  tenant.rng = root_rng_.split();
+  return id;
+}
+
+std::uint64_t AutomataService::add_qrng(automata::ControlledQrng qrng) {
+  std::lock_guard lock(tenants_mutex_);
+  const std::uint64_t id = next_tenant_id_++;
+  Tenant& tenant = tenants_[id];
+  tenant.qrng.emplace(std::move(qrng));
+  tenant.rng = root_rng_.split();
+  return id;
+}
+
+bool AutomataService::remove_tenant(std::uint64_t id) {
+  std::lock_guard lock(tenants_mutex_);
+  return tenants_.erase(id) == 1;
+}
+
+std::size_t AutomataService::tenant_count() const {
+  std::lock_guard lock(tenants_mutex_);
+  return tenants_.size();
+}
+
+sim::UnitaryCache::Stats AutomataService::engine_cache_stats() const {
+  return engine_->cache().stats();
+}
+
+Response AutomataService::submit(const Request& request) {
+  Response response;
+  Pending pending;
+  pending.requests = &request;
+  pending.count = 1;
+  pending.responses = &response;
+  pending.start_ns = metrics::now_ns();
+  serve(pending);
+  return response;
+}
+
+std::vector<Response> AutomataService::submit_batch(
+    const std::vector<Request>& requests) {
+  std::vector<Response> responses(requests.size());
+  if (requests.empty()) return responses;
+  Pending pending;
+  pending.requests = requests.data();
+  pending.count = requests.size();
+  pending.responses = responses.data();
+  pending.start_ns = metrics::now_ns();
+  serve(pending);
+  return responses;
+}
+
+void AutomataService::serve(Pending& pending) {
+  std::unique_lock lock(queue_mutex_);
+  queue_.push_back(&pending);
+  // Leader/follower combining: while a combiner is active, park; it may
+  // drain and answer this Pending, in which case there is nothing left to
+  // do. Otherwise become the combiner and drain rounds until the queue is
+  // empty (requests that arrive while a round is in flight coalesce into
+  // the next round).
+  while (combiner_active_ && !pending.done) queue_cv_.wait(lock);
+  if (pending.done) return;
+  combiner_active_ = true;
+  std::vector<Pending*> round;
+  while (!queue_.empty()) {
+    round.clear();
+    round.swap(queue_);
+    lock.unlock();
+    process_round(round);
+    lock.lock();
+    // done flips under the queue lock — the flag the followers' wait reads.
+    for (Pending* p : round) p->done = true;
+    queue_cv_.notify_all();
+  }
+  combiner_active_ = false;
+  queue_cv_.notify_all();
+}
+
+std::vector<double> AutomataService::automaton_distribution(
+    const Tenant& tenant, std::uint32_t word,
+    const la::Vector* amplitudes) const {
+  if (amplitudes != nullptr) return probabilities(*amplitudes);
+  const gates::Cascade& circuit = tenant.machine->circuit();
+  const mvl::Pattern output =
+      circuit.apply(mvl::Pattern::from_binary(circuit.wires(), word));
+  return automata::outcome_distribution(output);
+}
+
+void AutomataService::finish(const Item& item, Response&& response) {
+  const std::uint64_t elapsed = metrics::now_ns() - item.start_ns;
+  all_latency_.record_ns(elapsed);
+  switch (item.request->kind) {
+    case RequestKind::kStep:
+      step_latency_.record_ns(elapsed);
+      break;
+    case RequestKind::kSample:
+      sample_latency_.record_ns(elapsed);
+      break;
+    case RequestKind::kDistribution:
+      distribution_latency_.record_ns(elapsed);
+      break;
+    case RequestKind::kSetBackend:
+      break;
+  }
+  if (response.status == ResponseStatus::kOk) {
+    requests_.add();
+  } else {
+    rejected_.add();
+  }
+  *item.response = std::move(response);
+}
+
+void AutomataService::process_round(const std::vector<Pending*>& round) {
+  combine_rounds_.add();
+  // Tenant state (automaton registers, rng streams, backends) mutates for
+  // the whole round under the registry lock; it also pins every circuit the
+  // engine reads.
+  std::lock_guard tenants_lock(tenants_mutex_);
+
+  // Per-tenant FIFO queues, tenants ordered by first appearance in the
+  // round. Unknown tenants answer immediately.
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, std::deque<Item>> by_tenant;
+  for (Pending* pending : round) {
+    for (std::size_t i = 0; i < pending->count; ++i) {
+      Item item;
+      item.request = pending->requests + i;
+      item.response = pending->responses + i;
+      item.start_ns = pending->start_ns;
+      if (tenants_.find(item.request->tenant) == tenants_.end()) {
+        Response response;
+        response.status = ResponseStatus::kUnknownTenant;
+        finish(item, std::move(response));
+        continue;
+      }
+      auto [it, inserted] = by_tenant.try_emplace(item.request->tenant);
+      if (inserted) order.push_back(item.request->tenant);
+      it->second.push_back(item);
+    }
+  }
+
+  // Waves: one request per tenant per wave, so per-tenant order (and hence
+  // each tenant's rng draw sequence) is independent of how requests packed
+  // into batches, rounds, and waves.
+  struct WaveEntry {
+    Item item;
+    Tenant* tenant = nullptr;
+    std::uint32_t word = 0;       // engine/model input word
+    std::ptrdiff_t job = -1;      // index into the wave's engine batch
+    bool needs_random = false;    // kStep / kSample: one inverse-CDF draw
+  };
+  std::vector<WaveEntry> wave;
+  std::vector<sim::SimJob> jobs;
+  std::vector<la::Vector> outputs;
+  bool live = !order.empty();
+  while (live) {
+    live = false;
+    wave.clear();
+    jobs.clear();
+    waves_.add();
+    for (const std::uint64_t id : order) {
+      auto& queue = by_tenant[id];
+      if (queue.empty()) continue;
+      Item item = queue.front();
+      queue.pop_front();
+      if (!queue.empty()) live = true;
+
+      Tenant& tenant = tenants_.at(id);
+      const Request& request = *item.request;
+      WaveEntry entry;
+      entry.item = item;
+      entry.tenant = &tenant;
+
+      if (request.kind == RequestKind::kSetBackend) {
+        tenant.backend = request.backend;
+        Response response;
+        response.status = ResponseStatus::kOk;
+        finish(item, std::move(response));
+        continue;
+      }
+
+      const bool is_automaton = tenant.machine.has_value();
+      const gates::Cascade& circuit =
+          is_automaton ? tenant.machine->circuit() : tenant.qrng->circuit();
+      const std::size_t input_wires =
+          is_automaton ? tenant.machine->input_wires() : circuit.wires();
+      const bool kind_ok =
+          request.kind == RequestKind::kDistribution ||
+          (request.kind == RequestKind::kStep) == is_automaton;
+      if (!kind_ok ||
+          request.input_bits >= (std::uint64_t(1) << input_wires)) {
+        Response response;
+        response.status = ResponseStatus::kBadRequest;
+        finish(item, std::move(response));
+        continue;
+      }
+
+      entry.word = is_automaton
+                       ? (tenant.machine->state()
+                          << tenant.machine->input_wires()) |
+                             request.input_bits
+                       : request.input_bits;
+      entry.needs_random = request.kind != RequestKind::kDistribution;
+      if (tenant.backend == automata::MeasurementBackend::kHilbert) {
+        entry.job = static_cast<std::ptrdiff_t>(jobs.size());
+        jobs.push_back(sim::SimJob{&circuit, entry.word});
+      }
+      wave.push_back(entry);
+    }
+
+    // One engine call evaluates the whole wave's Hilbert jobs: circuits
+    // shared by several tenants fold once (block-unitary cache) and jobs
+    // GEMM-group and fan out across the engine pool.
+    if (!jobs.empty()) {
+      outputs = engine_->run(jobs);
+      engine_batches_.add();
+      engine_jobs_.add(jobs.size());
+    }
+
+    for (WaveEntry& entry : wave) {
+      Tenant& tenant = *entry.tenant;
+      const la::Vector* amplitudes =
+          entry.job >= 0 ? &outputs[static_cast<std::size_t>(entry.job)]
+                         : nullptr;
+      std::vector<double> dist =
+          tenant.machine.has_value()
+              ? automaton_distribution(tenant, entry.word, amplitudes)
+              : (amplitudes != nullptr
+                     ? probabilities(*amplitudes)
+                     : tenant.qrng->distribution(entry.word));
+      Response response;
+      response.status = ResponseStatus::kOk;
+      if (entry.needs_random) {
+        // One uniform draw per step/sample, from the tenant's own stream,
+        // in the tenant's request order — the backend only chose how the
+        // (identical, dyadic) distribution was computed.
+        const std::uint32_t measured =
+            automata::sample_index(dist, tenant.rng);
+        response.word = measured;
+        if (entry.item.request->kind == RequestKind::kStep) {
+          tenant.machine->reset(measured >> tenant.machine->input_wires());
+        }
+      } else {
+        response.distribution = std::move(dist);
+      }
+      finish(entry.item, std::move(response));
+    }
+  }
+}
+
+ServiceStats AutomataService::stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.value();
+  stats.rejected = rejected_.value();
+  stats.combine_rounds = combine_rounds_.value();
+  stats.waves = waves_.value();
+  stats.engine_batches = engine_batches_.value();
+  stats.engine_jobs = engine_jobs_.value();
+  stats.all = all_latency_.snapshot();
+  stats.step = step_latency_.snapshot();
+  stats.sample = sample_latency_.snapshot();
+  stats.distribution = distribution_latency_.snapshot();
+  return stats;
+}
+
+}  // namespace qsyn::serve

@@ -1,0 +1,224 @@
+// qsyn/serve/automata_service.h
+//
+// Multi-tenant serving front end for the automata layer (Figure 3 machines):
+// N tenants — each a QuantumAutomaton or a ControlledQrng with its own
+// reproducible Rng stream — multiplexed over ONE shared BatchSimulator
+// engine and its block-unitary cache. Concurrent step / sample /
+// distribution requests coalesce into batched engine calls, and every
+// request reports through the common/metrics latency recorders.
+//
+// Batching model. submit() calls from any number of threads enqueue into a
+// combining queue; one caller at a time elects itself the combiner, drains
+// everything queued, and serves the whole batch. A batch is processed in
+// *waves*: each wave takes the oldest pending request of every tenant, runs
+// all of the wave's Hilbert-backend simulations as one BatchSimulator::run
+// (folded circuits shared through the engine cache, jobs GEMM-grouped and
+// fanned out), then finishes each request in order. Per-tenant request order
+// is preserved exactly, which is what makes serving deterministic (below);
+// cross-tenant batching is where the engine sharing pays.
+//
+// Determinism. Tenant streams split() off one root seed in add-order, and a
+// step samples its outcome by inverse CDF from the tenant's *exact* joint
+// output distribution — one uniform draw per step/sample regardless of
+// backend. All amplitudes reachable from the paper's gate set are dyadic, so
+// the kMultiValued and kHilbert distributions of a reasonable cascade are
+// bit-identical, and therefore: same seed + same per-tenant request trace
+// => identical per-tenant outcome streams, regardless of submitter thread
+// count, batch boundaries, wave composition, engine thread count, or
+// measurement backend (tested in tests/test_serve.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/automaton.h"
+#include "automata/qrng.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "sim/batch.h"
+
+namespace qsyn::serve {
+
+/// What a request asks of its tenant.
+enum class RequestKind : std::uint8_t {
+  /// One automaton cycle: measure, latch the state bits, return the full
+  /// measured word. Automaton tenants only.
+  kStep,
+  /// One measured output word for the given input, no state. QRNG tenants
+  /// only.
+  kSample,
+  /// The exact outcome distribution for the given input (automaton: over
+  /// full output words from the tenant's current state; QRNG: over output
+  /// words). Consumes no randomness.
+  kDistribution,
+  /// Switches the tenant's measurement backend mid-traffic (kMultiValued
+  /// <-> kHilbert; either tenant type). Takes effect for every later
+  /// request of that tenant, including later requests in the same batch.
+  kSetBackend,
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kStep;
+  std::uint64_t tenant = 0;
+  std::uint32_t input_bits = 0;
+  /// kSetBackend payload; ignored otherwise.
+  automata::MeasurementBackend backend =
+      automata::MeasurementBackend::kMultiValued;
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,
+  /// No tenant with that id (never added, or already removed).
+  kUnknownTenant,
+  /// Input bits out of range, or a kind the tenant cannot serve (kStep on a
+  /// QRNG, kSample on an automaton).
+  kBadRequest,
+};
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kBadRequest;
+  /// kStep / kSample outcome word.
+  std::uint32_t word = 0;
+  /// kDistribution payload (empty otherwise).
+  std::vector<double> distribution;
+};
+
+/// Service-wide counters plus per-kind latency snapshots (submit-to-response,
+/// nanoseconds).
+struct ServiceStats {
+  std::uint64_t requests = 0;        // completed OK
+  std::uint64_t rejected = 0;        // kUnknownTenant / kBadRequest
+  std::uint64_t combine_rounds = 0;  // combiner drains of the submit queue
+  std::uint64_t waves = 0;           // engine scheduling waves
+  std::uint64_t engine_batches = 0;  // BatchSimulator::run calls
+  std::uint64_t engine_jobs = 0;     // jobs across those calls
+  metrics::LatencySnapshot all;
+  metrics::LatencySnapshot step;
+  metrics::LatencySnapshot sample;
+  metrics::LatencySnapshot distribution;
+};
+
+/// The serving front end. Thread-safe throughout: submit()/submit_batch()
+/// may be called from any thread concurrently with each other; tenant
+/// add/remove serializes against in-flight batches.
+class AutomataService {
+ public:
+  struct Options {
+    /// Engine knobs of the one shared BatchSimulator.
+    sim::SimOptions sim{};
+    /// Root seed: tenant i's Rng is the i-th split() of this seed, in
+    /// add-order, so one number reproduces every tenant stream.
+    std::uint64_t seed = 0x5eedc0de5eedc0deULL;
+  };
+
+  AutomataService();  // = AutomataService(Options{})
+  explicit AutomataService(Options options);
+  ~AutomataService();
+
+  AutomataService(const AutomataService&) = delete;
+  AutomataService& operator=(const AutomataService&) = delete;
+
+  /// Registers a tenant; returns its id (ids are never reused). The machine
+  /// is served through the shared engine — its own measurement backend
+  /// setting is ignored in favor of the per-tenant backend here.
+  std::uint64_t add_automaton(automata::QuantumAutomaton machine);
+  std::uint64_t add_qrng(automata::ControlledQrng qrng);
+
+  /// Removes a tenant (false when unknown). In-flight batches complete
+  /// first; later requests for the id answer kUnknownTenant.
+  bool remove_tenant(std::uint64_t id);
+
+  [[nodiscard]] std::size_t tenant_count() const;
+
+  /// Serves one request, coalescing with concurrently submitted ones.
+  [[nodiscard]] Response submit(const Request& request);
+
+  /// Serves a batch (request order is per-tenant execution order),
+  /// coalescing with concurrent submitters.
+  [[nodiscard]] std::vector<Response> submit_batch(
+      const std::vector<Request>& requests);
+
+  /// The shared engine (its cache() carries the fold hit-rates the soak
+  /// bench reports).
+  [[nodiscard]] sim::BatchSimulator& engine() { return *engine_; }
+
+  /// One consistent snapshot of the engine's block-unitary cache.
+  [[nodiscard]] sim::UnitaryCache::Stats engine_cache_stats() const;
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Tenant {
+    // Exactly one of machine / qrng is set.
+    std::optional<automata::QuantumAutomaton> machine;
+    std::optional<automata::ControlledQrng> qrng;
+    automata::MeasurementBackend backend =
+        automata::MeasurementBackend::kMultiValued;
+    Rng rng{0};
+  };
+
+  /// One queued request with its response slot and arrival timestamp.
+  struct Item {
+    const Request* request = nullptr;
+    Response* response = nullptr;
+    std::uint64_t start_ns = 0;
+  };
+
+  /// A submit()/submit_batch() call parked in the combining queue.
+  struct Pending {
+    const Request* requests = nullptr;
+    std::size_t count = 0;
+    Response* responses = nullptr;
+    std::uint64_t start_ns = 0;
+    bool done = false;
+  };
+
+  void serve(Pending& pending);
+  /// Serves a drained combine round (runs exclusively: one combiner at a
+  /// time, under tenants_mutex_ for tenant state).
+  void process_round(const std::vector<Pending*>& round);
+  /// Exact joint output distribution of an automaton tenant for one input
+  /// word, through the tenant's backend (kHilbert amplitudes may be handed
+  /// in from the wave's batched engine run).
+  [[nodiscard]] std::vector<double> automaton_distribution(
+      const Tenant& tenant, std::uint32_t word,
+      const la::Vector* amplitudes) const;
+  void finish(const Item& item, Response&& response);
+
+  Options options_;
+  std::unique_ptr<sim::BatchSimulator> engine_;
+
+  // Tenant registry + root rng; held across a whole combine round, and by
+  // add/remove, so circuits stay pinned while the engine reads them.
+  mutable std::mutex tenants_mutex_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  Rng root_rng_;
+  std::uint64_t next_tenant_id_ = 1;
+
+  // Combining queue (leader/follower): submitters park a Pending; whoever
+  // finds no active combiner drains the queue and serves, repeating until
+  // the queue is empty, then hands off.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<Pending*> queue_;
+  bool combiner_active_ = false;
+
+  // Observability (lock-free recorders; counters tick inside the round).
+  metrics::LatencyRecorder all_latency_;
+  metrics::LatencyRecorder step_latency_;
+  metrics::LatencyRecorder sample_latency_;
+  metrics::LatencyRecorder distribution_latency_;
+  metrics::Counter requests_;
+  metrics::Counter rejected_;
+  metrics::Counter combine_rounds_;
+  metrics::Counter waves_;
+  metrics::Counter engine_batches_;
+  metrics::Counter engine_jobs_;
+};
+
+}  // namespace qsyn::serve

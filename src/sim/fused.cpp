@@ -77,12 +77,17 @@ std::shared_ptr<const la::Matrix> UnitaryCache::fold(std::size_t wires,
   // same block is harmless — emplace keeps the first published result.
   auto folded =
       std::make_shared<const la::Matrix>(fold_block(wires, gates, count));
+  if (fold_hook_) fold_hook_();
   const std::size_t dim = std::size_t(1) << wires;
   const std::size_t folded_bytes = dim * dim * sizeof(la::Complex);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = blocks_.find(key);
   if (it != blocks_.end()) {
-    ++hits_;
+    // Lost a duplicate-fold race: the full fold work was done, so count a
+    // miss (plus duplicate_folds), not a hit — otherwise serving hit-rates
+    // inflate by exactly the contended folds.
+    ++misses_;
+    ++duplicate_folds_;
     return it->second;
   }
   ++misses_;
@@ -103,15 +108,20 @@ std::size_t UnitaryCache::bytes() const {
   return bytes_;
 }
 
-std::size_t UnitaryCache::hits() const {
+UnitaryCache::Stats UnitaryCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.duplicate_folds = duplicate_folds_;
+  stats.entries = blocks_.size();
+  stats.bytes = bytes_;
+  return stats;
 }
 
-std::size_t UnitaryCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
-}
+std::size_t UnitaryCache::hits() const { return stats().hits; }
+
+std::size_t UnitaryCache::misses() const { return stats().misses; }
 
 FusedCascade::FusedCascade(const gates::Cascade& cascade,
                            std::size_t fuse_block, UnitaryCache& cache)

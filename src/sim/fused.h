@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -94,9 +95,37 @@ class UnitaryCache {
   /// Bytes of matrix entries currently stored.
   [[nodiscard]] std::size_t bytes() const;
 
-  /// Lookup counters, for tests and bench reporting.
+  /// One consistent view of the lookup counters and the store shape, read
+  /// under a single lock acquisition — hits + misses always equals the
+  /// number of completed fold() calls, which two independent hits()/misses()
+  /// reads cannot guarantee while traffic is in flight.
+  struct Stats {
+    std::size_t hits = 0;
+    /// Every fold() that performed the fold work, including duplicate folds
+    /// lost to a race — a serving hit-rate derived from hits/misses reflects
+    /// work actually done.
+    std::size_t misses = 0;
+    /// The subset of misses that lost a concurrent duplicate-fold race on
+    /// the same block (the computed result was discarded for the published
+    /// one).
+    std::size_t duplicate_folds = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Lookup counters, for tests and bench reporting (each a single field of
+  /// stats(); use stats() when reading more than one).
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
+
+  /// Test hook: invoked after a fold's matrix is computed, before the
+  /// publish lock is re-taken — the window where a concurrent fold of the
+  /// same block can win the race. Not synchronized: set it before any
+  /// concurrent fold() traffic.
+  void set_fold_hook(std::function<void()> hook) {
+    fold_hook_ = std::move(hook);
+  }
 
  private:
   struct Key {
@@ -117,6 +146,8 @@ class UnitaryCache {
   std::size_t bytes_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t duplicate_folds_ = 0;
+  std::function<void()> fold_hook_;
 };
 
 /// One cascade partitioned into folded blocks: block i covers gates

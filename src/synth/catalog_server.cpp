@@ -137,14 +137,18 @@ gates::Cascade CatalogServer::cached_witness(unsigned cost,
   }
   const std::uint64_t key = witness_key(cost, row);
   {
+    // Both counters tick while the shared lock is held (atomics, since many
+    // shared holders run concurrently), so cache_stats() can exclude every
+    // in-flight update by taking the lock exclusively and read one
+    // consistent snapshot.
     std::shared_lock lock(cache_mutex_);
     const auto it = witness_cache_.find(key);
     if (it != witness_cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   // Back-walk outside any lock: reconstruction only reads immutable frontier
   // tables. Concurrent misses on the same row redo the walk; the first
   // emplace wins and the duplicates are dropped, which is cheaper than
@@ -268,10 +272,14 @@ std::vector<std::optional<SynthesisResult>> CatalogServer::synthesize_batch(
 }
 
 CatalogServer::CacheStats CatalogServer::cache_stats() const {
+  // Exclusive lock: counter updates happen under the shared lock, so this
+  // snapshot sees hits + misses == completed lookups and an entry count from
+  // the same instant — two independently-read counters could disagree with
+  // each other and with the map.
+  std::unique_lock lock(cache_mutex_);
   CacheStats stats;
   stats.hits = cache_hits_.load(std::memory_order_relaxed);
   stats.misses = cache_misses_.load(std::memory_order_relaxed);
-  std::shared_lock lock(cache_mutex_);
   stats.entries = witness_cache_.size();
   return stats;
 }

@@ -160,6 +160,9 @@ class CatalogServer {
   [[nodiscard]] std::vector<std::optional<SynthesisResult>> synthesize_batch(
       const std::vector<perm::Permutation>& targets) const;
 
+  /// One consistent snapshot of the witness cache (taken under the cache
+  /// lock): hits + misses equals the lookups completed at the instant of the
+  /// snapshot, and entries is the map size at that same instant.
   struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;

@@ -74,6 +74,24 @@ TEST(Measurement, OutcomeRangeChecked) {
                qsyn::LogicError);
 }
 
+TEST(Measurement, SampleIndexRoundingTailLandsOnNonzeroOutcome) {
+  // Regression: with trailing zero-probability outcomes, a uniform draw
+  // above the accumulated mass (tiny masses underflow the running sum) used
+  // to fall through to the *last* index — an outcome with probability zero.
+  // The fallback must land on the last nonzero-probability index instead.
+  const std::vector<double> dist = {0.0, 1e-30, 0.0};
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(sample_index(dist, rng), 1u);
+  }
+}
+
+TEST(Measurement, SampleIndexRejectsMasslessDistributions) {
+  Rng rng(2);
+  EXPECT_THROW((void)sample_index({}, rng), qsyn::LogicError);
+  EXPECT_THROW((void)sample_index({0.0, 0.0}, rng), qsyn::LogicError);
+}
+
 // --- specs ----------------------------------------------------------------------
 
 TEST(ExactProbSpec, ValidatesShape) {
@@ -252,6 +270,16 @@ TEST(Qrng, TwoWireCoin) {
 
 TEST(Qrng, SpecGuards) {
   EXPECT_THROW(controlled_coin_spec(1), qsyn::LogicError);
+}
+
+TEST(Qrng, SpecGuardsAgainstShiftOverflow) {
+  // Regression: `1u << wires` at wires >= 32 is undefined behavior; the
+  // wire count must be rejected (patterns cap at mvl::kMaxWires anyway)
+  // before any outcome-space shift is evaluated.
+  EXPECT_THROW(controlled_coin_spec(17), qsyn::LogicError);
+  EXPECT_THROW(controlled_coin_spec(32), qsyn::LogicError);
+  EXPECT_THROW(controlled_coin_spec(33), qsyn::LogicError);
+  EXPECT_THROW(controlled_coin_spec(64), qsyn::LogicError);
 }
 
 }  // namespace

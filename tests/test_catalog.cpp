@@ -552,6 +552,47 @@ TEST(CatalogServer, ConcurrentMixedQueriesAgree) {
   }
 }
 
+TEST(CatalogServer, CacheStatsSnapshotIsConsistentUnderTraffic) {
+  // cache_stats() takes the cache lock exclusively while the counters tick
+  // under the shared lock, so every snapshot obeys the accounting invariants
+  // even mid-traffic: hits + misses never exceeds the lookups issued, never
+  // decreases between snapshots, and entries never exceeds the misses that
+  // created them. After quiescing, hits + misses equals lookups exactly.
+  const CatalogServer server = CatalogServer::open(catalog5_path(), library3());
+  // Cached-witness targets only (cost >= 1 hits the witness cache).
+  const std::vector<perm::Permutation> targets = {
+      peres_perm(), toffoli_perm(), g2_perm(), g3_perm(), g4_perm()};
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 16;
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (const perm::Permutation& target : targets) {
+          (void)server.synthesize(target);
+        }
+      }
+    });
+  }
+  const std::size_t total = kThreads * kRounds * targets.size();
+  CatalogServer::CacheStats last{};
+  for (int i = 0; i < 200; ++i) {
+    const auto stats = server.cache_stats();
+    EXPECT_LE(stats.hits + stats.misses, total);
+    EXPECT_GE(stats.hits, last.hits);
+    EXPECT_GE(stats.misses, last.misses);
+    EXPECT_LE(stats.entries, stats.misses);
+    last = stats;
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const auto final_stats = server.cache_stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses, total);
+  EXPECT_GE(final_stats.entries, 1u);
+  EXPECT_LE(final_stats.entries, targets.size());
+}
+
 TEST(CatalogServer, ServesFreshClosuresToo) {
   // The server is storage-agnostic: a just-computed (writable) closure
   // serves identically to its catalog-backed reopen.

@@ -104,6 +104,45 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
 }
 
+TEST(Rng, JumpIsDeterministicAndMovesTheStream) {
+  Rng jumped(42);
+  jumped.jump();
+  Rng same(42);
+  same.jump();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(jumped(), same());
+
+  // The jumped stream differs from the unjumped one (2^128 draws apart).
+  Rng base(42);
+  Rng far(42);
+  far.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (base() == far()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitChildContinuesParentStreamParentJumps) {
+  // split(): the child picks up the parent's current position; the parent
+  // jumps past it. Children of successive splits are thus reproducible,
+  // pairwise far apart, and independent of how many draws each consumes.
+  Rng parent(7);
+  Rng reference(7);
+  Rng child_a = parent.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child_a(), reference());
+
+  Rng replay(7);
+  Rng child_b = parent.split();
+  // Same root seed => the same sequence of split children, regardless of
+  // draws made from earlier children in between.
+  Rng replay_a = replay.split();
+  Rng replay_b = replay.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child_b(), replay_b());
+  int equal = 0;
+  Rng fresh_a(7);  // == child_a before it was drawn from
+  for (int i = 0; i < 64; ++i) equal += (fresh_a() == replay_b()) ? 1 : 0;
+  EXPECT_LT(equal, 4);
+  (void)replay_a;
+}
+
 // --- strings -----------------------------------------------------------------
 
 TEST(Strings, TrimBothEnds) {

@@ -316,6 +316,38 @@ TEST(FusionAlgebra, CacheSharesEqualBlocksAcrossCascades) {
   EXPECT_EQ(again.block_matrix(0).get(), fused_a.block_matrix(0).get());
 }
 
+TEST(FusionAlgebra, DuplicateFoldRaceCountsAsMissNotHit) {
+  // Regression: a fold() that loses the publish race (another fold of the
+  // same block completed while this one was folding outside the lock) used
+  // to count as a *hit*, inflating serving hit-rates by exactly the
+  // contended folds — even though the full fold work was done and thrown
+  // away. The fold hook reproduces the race deterministically: it fires
+  // after the matrix is computed but before the publish lock is re-taken,
+  // and folds the same block to completion from inside that window.
+  UnitaryCache cache;
+  const Cascade c = Cascade::parse("VBA*FCA", 3);
+  bool raced = false;
+  cache.set_fold_hook([&] {
+    if (raced) return;  // only the outer fold loses; the inner one publishes
+    raced = true;
+    const FusedCascade inner(c, 2, cache);
+  });
+  const FusedCascade outer(c, 2, cache);
+  ASSERT_TRUE(raced);
+
+  const UnitaryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);  // both fold() calls did the fold work
+  EXPECT_EQ(stats.duplicate_folds, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // hits + misses == completed fold() calls: the snapshot invariant.
+  EXPECT_EQ(stats.hits + stats.misses, 2u);
+  // The loser is handed the published matrix, not its own discarded fold.
+  const FusedCascade again(c, 2, cache);
+  EXPECT_EQ(again.block_matrix(0).get(), outer.block_matrix(0).get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(FusionAlgebra, EqualBlocksOnDifferentWireCountsAreDistinct) {
   // Same gates, different wire count: different unitaries, so the content
   // key must include the wire count.
